@@ -1,0 +1,29 @@
+"""Shared benchmark fixtures.
+
+Every benchmark runs an experiment driver once (``benchmark.pedantic`` with
+one round — the heavy lifting is the simulated workload, not the Python
+call overhead), prints the paper-style table, and asserts the paper's shape
+criteria.  Workload sizes come from ``REPRO_PROFILE`` (quick | full).
+
+The first invocation trains and caches the two full-size cascades
+(~10 minutes); subsequent runs load them from the artifact cache.
+"""
+
+import pytest
+
+from repro.experiments.config import active_profile
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return active_profile()
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a report block so ``pytest -s`` shows paper-style output."""
+
+    def _print(text: str) -> None:
+        print("\n" + text + "\n")
+
+    return _print

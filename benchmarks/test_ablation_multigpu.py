@@ -1,0 +1,22 @@
+"""Related-work ablation: multi-GPU scale parallelism (ref [10])."""
+
+from repro.experiments.multigpu_ablation import run_multigpu_ablation
+
+
+def test_ablation_multigpu(benchmark, profile, report):
+    result = benchmark.pedantic(
+        run_multigpu_ablation, args=(profile,), rounds=1, iterations=1
+    )
+    report(result.format_table())
+
+    # more GPUs never hurt (static LPT partition)
+    times = [result.balanced_ms[n] for n in (1, 2, 3, 4)]
+    for a, b in zip(times, times[1:]):
+        assert b <= a * 1.02
+    # but speedup saturates far below linear: scale-0 dominates one device
+    # ("unbalanced distribution of work", Section II)
+    assert result.speedup(4) < 3.0
+    assert result.imbalance[4] > 1.2
+    # LPT beats naive round-robin at every device count > 1
+    for n in (2, 3, 4):
+        assert result.balanced_ms[n] <= result.round_robin_ms[n] * 1.001

@@ -1,0 +1,19 @@
+"""Soft-cascade ablation (the paper's Section VII future work)."""
+
+from repro.experiments.soft_cascade_ablation import run_soft_cascade_ablation
+
+
+def test_ablation_soft_cascade(benchmark, profile, report):
+    result = benchmark.pedantic(
+        run_soft_cascade_ablation, args=(profile,), rounds=1, iterations=1
+    )
+    report(result.format_table())
+
+    # finer-grained early exits evaluate fewer classifiers per window
+    assert result.soft_classifiers_per_window < result.staged_classifiers_per_window
+    assert result.work_reduction > 0.0
+    # the two formulations agree on (almost) every accept/reject verdict
+    assert result.acceptance_agreement > 0.99
+    # simulated kernel time improves or at worst breaks even (the per-
+    # classifier exit test costs a few instructions back)
+    assert result.soft_time_ms <= result.staged_time_ms * 1.1

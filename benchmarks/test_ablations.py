@@ -1,0 +1,95 @@
+"""Section VI micro-statistics and design-choice ablations.
+
+One benchmark per claim in the paper's prose, plus the design ablations
+DESIGN.md calls out (window strategy, feature encoding, integral paths).
+"""
+
+from repro.experiments.ablations import (
+    run_divergence,
+    run_dram_throughput,
+    run_encoding_ablation,
+    run_end_to_end_fps,
+    run_integral_paths,
+    run_pipeline_breakdown,
+    run_window_strategy,
+)
+
+
+def test_ablation_divergence(benchmark, profile, report):
+    """Paper: 98.9 % of branches non-divergent in the cascade kernel."""
+    result = benchmark.pedantic(run_divergence, args=(profile,), rounds=1, iterations=1)
+    report(result.format_summary())
+    assert result.branches > 0
+    # adjacent windows mostly exit at the same stage, so warps rarely split
+    assert result.branch_efficiency >= 0.97
+
+
+def test_ablation_pipeline_breakdown(benchmark, profile, report):
+    """Paper: integral-image kernels ~20 % of total detection time."""
+    result = benchmark.pedantic(
+        run_pipeline_breakdown, args=(profile,), rounds=1, iterations=1
+    )
+    report(result.format_table())
+    assert 0.05 <= result.integral_fraction <= 0.40
+    # the cascade evaluation kernel dominates (the paper's premise)
+    assert result.cascade_fraction > result.integral_fraction
+
+
+def test_ablation_dram_throughput(benchmark, profile, report):
+    """Paper: 9.57-532 MB/s DRAM read throughput across scale kernels."""
+    result = benchmark.pedantic(
+        run_dram_throughput, args=(profile,), rounds=1, iterations=1
+    )
+    report(result.format_summary())
+    # low absolute throughput (integral tiles are L2-resident and staged
+    # through shared memory, so the cascade kernel barely touches DRAM),
+    # spanning a wide range across the per-scale kernels
+    assert result.min_mbps < 300
+    assert result.max_mbps < 3000
+    assert result.max_mbps / max(result.min_mbps, 1e-9) > 3
+
+
+def test_ablation_end_to_end_fps(benchmark, profile, report):
+    """Paper: 70 fps at 1080p with decode (8-10 ms) overlapped."""
+    result = benchmark.pedantic(
+        run_end_to_end_fps, args=(profile,), rounds=1, iterations=1
+    )
+    report(result.format_summary())
+    # overlapping decode with detection beats serialising them
+    assert result.fps_pipelined > result.fps_serialised
+    assert result.fps_pipelined > 20.0
+
+
+def test_ablation_feature_encoding(benchmark, report):
+    """Section III-C: packed 16-bit features fit constant memory; raw don't."""
+    result = benchmark.pedantic(run_encoding_ablation, rounds=1, iterations=1)
+    report(result.format_summary())
+    assert result.fits_packed
+    assert not result.fits_raw
+    assert result.raw_bytes / result.packed_bytes > 3.0
+    # quantisation is essentially free in accuracy terms
+    assert result.depth_agreement >= 0.98
+
+
+def test_ablation_window_strategy(benchmark, profile, report):
+    """Fig. 2: variable-sized windows collapse GPU occupancy."""
+    result = benchmark.pedantic(
+        run_window_strategy, args=(profile,), rounds=1, iterations=1
+    )
+    report(result.format_table())
+    # the fixed-window pyramid keeps the device near its occupancy ceiling
+    # (the cascade kernel itself is register-limited at ~0.83)
+    assert result.fixed_occupancy > 0.8
+    # big variable windows leave almost everything idle
+    assert result.collapse_ratio < 0.3
+    # occupancy decays monotonically with window size
+    occ = [v for _, v in sorted(result.variable_occupancy.items())]
+    assert occ == sorted(occ, reverse=True)
+
+
+def test_ablation_integral_paths(benchmark, report):
+    """Ref [23]: CPU wins at small images, GPU at high resolution."""
+    result = benchmark.pedantic(run_integral_paths, rounds=1, iterations=1)
+    report(result.format_table())
+    assert result.gpu_wins_at_high_resolution
+    assert result.speedup_grows_with_resolution

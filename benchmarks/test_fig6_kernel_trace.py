@@ -1,0 +1,18 @@
+"""Fig. 6: execution trace — small-scale cascade kernels overlap."""
+
+from repro.experiments.fig6 import run_fig6
+
+
+def test_fig6_kernel_trace(benchmark, profile, report):
+    result = benchmark.pedantic(run_fig6, args=(profile,), rounds=1, iterations=1)
+    report(result.format_trace())
+
+    # serial execution never overlaps kernels
+    assert result.serial_overlaps == 0
+    # concurrent execution overlaps the small-scale cascade kernels (the
+    # paper's figure shows them "executed completely overlapped")
+    assert result.small_scale_overlaps >= 3
+    # concurrency strictly reduces the frame makespan
+    assert result.concurrent.makespan_s < result.serial.makespan_s
+    # device utilisation rises under concurrent execution
+    assert result.concurrent.utilization > result.serial.utilization

@@ -1,0 +1,27 @@
+"""Fig. 7: rejection rate per cascade stage and image scale."""
+
+import numpy as np
+
+from repro.experiments.fig7 import run_fig7
+
+
+def test_fig7_rejection_rates(benchmark, profile, report):
+    result = benchmark.pedantic(run_fig7, args=(profile,), rounds=1, iterations=1)
+    report(result.format_table())
+
+    rates = result.rejection_rate_by_stage
+    # paper: 94.52 % of windows rejected at the first stage
+    assert 0.88 <= result.stage1_rejection <= 0.985
+    # paper: ~4 % at the second stage
+    assert 0.005 <= result.stage2_rejection <= 0.10
+    # "dramatically reduced for the remaining stages": monotone-ish decay
+    # over the early stages and tiny tail mass
+    assert rates[1] < rates[0]
+    assert rates[2] < rates[1]
+    assert rates[3:-1].sum() < 0.02
+    # acceptances are rare (only true faces + stray windows survive)
+    assert rates[-1] < 5e-3
+    # the matrix covers every scale and is a valid distribution
+    matrix = result.rejection_matrix()
+    assert np.allclose(matrix.sum(axis=1), 1.0)
+    assert matrix.shape[1] == result.n_stages + 1

@@ -1,0 +1,27 @@
+"""Fig. 8: GentleBoost single-iteration time vs thread count."""
+
+from repro.experiments.fig8 import run_fig8
+from repro.gpusim.device import XEON_HOST_DUAL_E5472, XEON_HOST_I7_2600K
+
+
+def test_fig8_training_scalability(benchmark, profile, report):
+    result = benchmark.pedantic(run_fig8, args=(profile,), rounds=1, iterations=1)
+    report(result.format_table())
+
+    i7 = XEON_HOST_I7_2600K.name
+    xeon = XEON_HOST_DUAL_E5472.name
+    for platform in (i7, xeon):
+        curve = result.curves[platform]
+        times = [curve[t] for t in sorted(curve)]
+        # monotone non-increasing in thread count
+        for a, b in zip(times, times[1:]):
+            assert b <= a * 1.0001
+        # paper: "close to 3.5X in both scenarios ... with 8 threads"
+        assert 3.0 <= result.speedup(platform, 8) <= 4.0
+
+    # paper: the i7-2600K outperformed the dual Xeon ~2x on average
+    ratio = result.curves[xeon][1] / result.curves[i7][1]
+    assert 1.8 <= ratio <= 2.2
+
+    # the parallel loops dominate the iteration (OpenMP region >> serial)
+    assert result.timing.parallel_fraction > 0.9

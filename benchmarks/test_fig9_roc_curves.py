@@ -1,0 +1,23 @@
+"""Fig. 9: TPR/FP curves for both cascades at 15/20/25 stages."""
+
+from repro.experiments.fig9 import run_fig9
+
+
+def test_fig9_roc_curves(benchmark, profile, report):
+    result = benchmark.pedantic(run_fig9, args=(profile,), rounds=1, iterations=1)
+    report(result.format_table())
+
+    # six curves: {ours, opencv} x {15, 20, 25}
+    assert len(result.curves) == 6
+
+    # "the level of discrimination increases as more stages are considered"
+    assert result.discrimination_improves_with_stages("ours")
+    assert result.discrimination_improves_with_stages("opencv")
+
+    # the detectors actually detect: full-depth cascades keep useful recall
+    assert result.curves[("ours", 25)].tpr[-1] >= 0.5
+
+    # "although the proposed cascade contains less filters, [it] generally
+    # outperforms the OpenCV cascade in terms of TPR/FP"
+    wins = sum(result.ours_not_worse(stages) for stages in (15, 20, 25))
+    assert wins >= 2

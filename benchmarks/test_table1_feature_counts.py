@@ -1,0 +1,15 @@
+"""Table I: Haar feature combination counts in a 24x24 window."""
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_feature_counts(benchmark, report):
+    result = benchmark.pedantic(run_table1, rounds=3, iterations=1)
+    report(result.format_table())
+    # exact reproduction: the counts match the paper to the digit
+    assert result.matches_paper
+    assert result.counts["edge"] == 55_660
+    assert result.counts["line"] == 31_878
+    assert result.counts["center_surround"] == 3_969
+    assert result.counts["diagonal"] == 12_100
+    assert result.total == 103_607

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""End-to-end video pipeline: trailer -> mock H.264 -> decode -> detect.
+
+Reproduces the paper's deployment loop on a synthetic trailer: mux frames
+into the mock bitstream, decode them with the hardware-decoder model, run
+the GPU face-detection pipeline per frame in both serial and concurrent
+kernel-execution modes, and report the per-frame latency table plus the
+overlapped decode+detect throughput (the paper's 70 fps argument).
+
+Run:  python examples/video_pipeline.py [trailer-name]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import FaceDetector
+from repro.gpusim.scheduler import ExecutionMode
+from repro.utils.tables import format_table
+from repro.video.h264 import demux, encode_video
+from repro.video.decoder import HardwareDecoder
+from repro.video.trailer import TRAILERS, synthesize_trailer
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "50/50"
+    width, height, n_frames = 480, 270, 8
+
+    print(f"synthesising trailer {name!r} at {width}x{height}, {n_frames} frames...")
+    frames, truth = synthesize_trailer(name, width, height, n_frames, seed=3)
+    stream = encode_video(list(frames), fps=24.0, gop=4)
+    print(
+        f"muxed bitstream: {stream.coded_size} bytes, "
+        f"{stream.bitrate() / 1e6:.2f} Mbit/s, GOP {stream.gop}"
+    )
+
+    detector = FaceDetector.pretrained("quick")
+    decoder = HardwareDecoder(stream, seed=1)
+
+    rows = []
+    decode_ms, conc_ms, serial_ms = [], [], []
+    for unit in demux(stream):
+        decoded = decoder.decode(unit)
+        by_mode = detector.pipeline.schedule_modes(
+            decoded.luma, [ExecutionMode.CONCURRENT, ExecutionMode.SERIAL]
+        )
+        conc = by_mode[ExecutionMode.CONCURRENT]
+        serial = by_mode[ExecutionMode.SERIAL]
+        decode_ms.append(decoded.latency_s * 1e3)
+        conc_ms.append(conc.detection_time_s * 1e3)
+        serial_ms.append(serial.detection_time_s * 1e3)
+        rows.append(
+            [
+                decoded.frame_index,
+                "IDR" if decoded.is_idr else "P",
+                len(truth[decoded.frame_index]),
+                round(decoded.latency_s * 1e3, 2),
+                round(serial.detection_time_s * 1e3, 2),
+                round(conc.detection_time_s * 1e3, 2),
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            ["frame", "slice", "faces", "decode (ms)", "detect serial", "detect conc"],
+            rows,
+            title=f"per-frame pipeline latencies — {name}",
+        )
+    )
+    speedup = np.mean(serial_ms) / np.mean(conc_ms)
+    bound = max(np.mean(decode_ms), np.mean(conc_ms))
+    print(
+        f"\nconcurrent kernels speed detection up {speedup:.2f}x; "
+        f"with decode overlapped the pipeline sustains {1e3 / bound:.1f} fps"
+    )
+    print(f"trailers available: {', '.join(s.name for s in TRAILERS)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The execution environment has no ``wheel`` package (and no network), so PEP
+660 editable installs (``pip install -e .``) cannot build. This shim lets
+``python setup.py develop`` / legacy editable installs work offline.
+"""
+
+from setuptools import setup
+
+setup()

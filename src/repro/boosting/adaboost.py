@@ -1,0 +1,79 @@
+"""Discrete AdaBoost (Freund & Schapire) — the OpenCV-baseline learner.
+
+The baseline cascade of Table II / Fig. 9 is trained the way the original
+Viola-Jones / Lienhart cascades were: each round picks the stump with the
+lowest weighted *misclassification* and votes with weight
+``alpha = 0.5 * ln((1 - err) / err)``; the hard +-alpha votes are stored in
+the same :class:`~repro.haar.cascade.WeakClassifier` container GentleBoost
+uses (left/right = ∓alpha), so downstream evaluation is learner-agnostic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.boosting.dataset import TrainingSet
+from repro.boosting.gentleboost import BoostResult
+from repro.boosting.responses import compute_responses
+from repro.boosting.stumps import fit_classification_stumps, quantize_responses
+from repro.errors import TrainingError
+from repro.haar.cascade import WeakClassifier
+from repro.haar.features import HaarFeature
+
+__all__ = ["AdaBoost"]
+
+#: cap on a single round's vote so a perfect stump cannot freeze training
+_MAX_ALPHA = 5.0
+
+
+class AdaBoost:
+    """Discrete AdaBoost over a fixed Haar feature pool."""
+
+    def __init__(self, features: Sequence[HaarFeature], n_bins: int = 64) -> None:
+        if not features:
+            raise TrainingError("feature pool is empty")
+        self._features = list(features)
+        self._n_bins = n_bins
+
+    @property
+    def features(self) -> list[HaarFeature]:
+        return self._features
+
+    def fit(self, training_set: TrainingSet, n_rounds: int) -> BoostResult:
+        """Run ``n_rounds`` of discrete AdaBoost on ``training_set``."""
+        if n_rounds <= 0:
+            raise TrainingError("n_rounds must be positive")
+        y = training_set.labels.astype(np.float64)
+        responses = compute_responses(self._features, training_set.data)
+        binned = quantize_responses(responses, self._n_bins)
+
+        n = training_set.n_samples
+        weights = np.full(n, 1.0 / n)
+        scores = np.zeros(n)
+        classifiers: list[WeakClassifier] = []
+        train_errors: list[float] = []
+
+        for m in range(n_rounds):
+            fits = fit_classification_stumps(binned, weights, y)
+            j = fits.best()
+            err = max(float(fits.errors[j]) / weights.sum(), 1e-12)
+            # Polarity search guarantees err <= 0.5; clamp the boundary case
+            # (no stump beats chance on this weighting) so alpha stays a
+            # small positive vote instead of zero/negative.
+            err = min(err, 0.499)
+            alpha = min(0.5 * np.log((1.0 - err) / err), _MAX_ALPHA)
+            weak = WeakClassifier(
+                feature=self._features[j],
+                threshold=float(fits.thresholds[j]),
+                left=float(fits.lefts[j]) * alpha,
+                right=float(fits.rights[j]) * alpha,
+            )
+            hm = np.where(responses[j] <= weak.threshold, weak.left, weak.right)
+            scores += hm
+            weights = weights * np.exp(-y * hm)
+            weights /= weights.sum()
+            classifiers.append(weak)
+            train_errors.append(float(np.mean(np.sign(scores) != y)))
+        return BoostResult(classifiers=classifiers, scores=scores, train_errors=train_errors)

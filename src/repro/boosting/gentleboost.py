@@ -1,0 +1,94 @@
+"""GentleBoost (Friedman, Hastie, Tibshirani 2000) — the paper's learner.
+
+Gentle adaptive boosting fits, at every round, the regression stump that
+minimises the *weighted least-squares* error against the +-1 labels, adds
+its real-valued output to the ensemble score, and reweights samples with
+``w <- w * exp(-y * f_m(x))``.  Compared to discrete AdaBoost the updates
+are bounded, which is what lets the paper reach the same operating points
+with half the classifiers (Section IV, Fig. 9).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.boosting.dataset import TrainingSet
+from repro.boosting.responses import compute_responses
+from repro.boosting.stumps import fit_regression_stumps, quantize_responses
+from repro.errors import TrainingError
+from repro.haar.cascade import WeakClassifier
+from repro.haar.features import HaarFeature
+
+__all__ = ["GentleBoost", "BoostResult"]
+
+
+@dataclass
+class BoostResult:
+    """Output of one boosting run: the ensemble and its training scores."""
+
+    classifiers: list[WeakClassifier]
+    scores: np.ndarray  # (N,) final additive score per training sample
+    train_errors: list[float]  # misclassification rate after each round
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.classifiers)
+
+
+class GentleBoost:
+    """GentleBoost over a fixed Haar feature pool."""
+
+    def __init__(self, features: Sequence[HaarFeature], n_bins: int = 64) -> None:
+        if not features:
+            raise TrainingError("feature pool is empty")
+        self._features = list(features)
+        self._n_bins = n_bins
+
+    @property
+    def features(self) -> list[HaarFeature]:
+        return self._features
+
+    def fit(
+        self,
+        training_set: TrainingSet,
+        n_rounds: int,
+        callback: Callable[[int, WeakClassifier], None] | None = None,
+    ) -> BoostResult:
+        """Run ``n_rounds`` of GentleBoost on ``training_set``."""
+        if n_rounds <= 0:
+            raise TrainingError("n_rounds must be positive")
+        y = training_set.labels.astype(np.float64)
+        responses = compute_responses(self._features, training_set.data)
+        binned = quantize_responses(responses, self._n_bins)
+
+        n = training_set.n_samples
+        weights = np.full(n, 1.0 / n)
+        scores = np.zeros(n)
+        classifiers: list[WeakClassifier] = []
+        train_errors: list[float] = []
+
+        for m in range(n_rounds):
+            fits = fit_regression_stumps(binned, weights, y)
+            j = fits.best()
+            weak = WeakClassifier(
+                feature=self._features[j],
+                threshold=float(fits.thresholds[j]),
+                left=float(fits.lefts[j]),
+                right=float(fits.rights[j]),
+            )
+            fm = np.where(responses[j] <= weak.threshold, weak.left, weak.right)
+            scores += fm
+            # Gentle update: multiplicative reweighting, renormalised.
+            weights = weights * np.exp(np.clip(-y * fm, -30.0, 30.0))
+            total = weights.sum()
+            if not np.isfinite(total) or total <= 0:
+                raise TrainingError(f"weight collapse at round {m}")
+            weights /= total
+            classifiers.append(weak)
+            train_errors.append(float(np.mean(np.sign(scores) != y)))
+            if callback is not None:
+                callback(m, weak)
+        return BoostResult(classifiers=classifiers, scores=scores, train_errors=train_errors)

@@ -1,0 +1,262 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``detect``    detect faces in a PGM/PPM image (or a synthesised demo scene)
+``trailers``  list the synthetic Table II trailers
+``info``      print device model, cascade zoo and profile information
+``train``     train a small cascade from scratch and save it as JSON
+``bench``     run one experiment driver and print its paper-style table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["main", "read_pnm", "write_ppm"]
+
+
+def read_pnm(path: str | Path) -> np.ndarray:
+    """Read a binary PGM (P5) or PPM (P6) image as grayscale float32."""
+    data = Path(path).read_bytes()
+    if data[:2] not in (b"P5", b"P6"):
+        raise ReproError(f"{path}: only binary PGM (P5) / PPM (P6) supported")
+    fields: list[int] = []
+    pos = 2
+    while len(fields) < 3:
+        while pos < len(data) and data[pos : pos + 1].isspace():
+            pos += 1
+        if data[pos : pos + 1] == b"#":  # comment line
+            pos = data.index(b"\n", pos) + 1
+            continue
+        start = pos
+        while pos < len(data) and not data[pos : pos + 1].isspace():
+            pos += 1
+        fields.append(int(data[start:pos]))
+    pos += 1  # single whitespace after maxval
+    width, height, maxval = fields
+    if maxval > 255:
+        raise ReproError(f"{path}: 16-bit PNM not supported")
+    channels = 1 if data[:2] == b"P5" else 3
+    pixels = np.frombuffer(data, dtype=np.uint8, count=width * height * channels, offset=pos)
+    if channels == 1:
+        return pixels.reshape(height, width).astype(np.float32)
+    rgb = pixels.reshape(height, width, 3).astype(np.float32)
+    return 0.299 * rgb[:, :, 0] + 0.587 * rgb[:, :, 1] + 0.114 * rgb[:, :, 2]
+
+
+def write_ppm(path: str | Path, rgb: np.ndarray) -> None:
+    """Write an (h, w, 3) uint8 array as a binary PPM."""
+    h, w, _ = rgb.shape
+    with open(path, "wb") as f:
+        f.write(f"P6 {w} {h} 255\n".encode("ascii"))
+        f.write(np.ascontiguousarray(rgb, dtype=np.uint8).tobytes())
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from repro import FaceDetector
+    from repro.detect.display import draw_detections
+    from repro.detect.grouping import RawDetection
+    from repro.utils.rng import rng_for
+    from repro.video.synthesis import render_scene
+
+    if args.image:
+        frame = read_pnm(args.image)
+        truth = None
+    else:
+        frame, truth = render_scene(
+            args.width, args.height, faces=args.faces, rng=rng_for(args.seed, "cli-demo")
+        )
+        print(f"(no image given: synthesised a demo scene with {len(truth)} faces)")
+    detector = FaceDetector.pretrained(args.profile, seed=0)
+    result = detector.detect(frame)
+    print(
+        f"{len(result.detections)} detections ({result.raw_count} raw windows), "
+        f"simulated GPU time {result.detection_time_s * 1e3:.2f} ms"
+    )
+    for d in result.detections:
+        print(f"  x={d.x:7.1f} y={d.y:7.1f} size={d.size:6.1f} score={d.score:7.1f}")
+    if args.output:
+        boxes = [RawDetection(d.x, d.y, d.size, d.score) for d in result.detections]
+        write_ppm(args.output, draw_detections(frame, boxes))
+        print(f"annotated frame -> {args.output}")
+    return 0
+
+
+def _cmd_trailers(_args: argparse.Namespace) -> int:
+    from repro.utils.tables import format_table
+    from repro.video.trailer import TRAILERS
+
+    rows = [
+        [t.name, t.mean_faces, t.face_scale, t.scene_length, t.clutter]
+        for t in TRAILERS
+    ]
+    print(
+        format_table(
+            ["trailer", "faces/scene", "face scale", "scene frames", "clutter"],
+            rows,
+            title="synthetic Table II trailers",
+        )
+    )
+    return 0
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    from repro import __version__
+    from repro.experiments.config import active_profile
+    from repro.gpusim.device import GTX470
+    from repro.utils.artifacts import artifact_dir
+
+    profile = active_profile()
+    print(f"repro {__version__}")
+    print(
+        f"device model: {GTX470.name} — {GTX470.sm_count} SMs x "
+        f"{GTX470.cores_per_sm} cores @ {GTX470.clock_hz / 1e9:.3f} GHz, "
+        f"{GTX470.dram_bandwidth_bytes / 1e9:.1f} GB/s"
+    )
+    print(
+        f"profile: {profile.name} ({profile.frame_width}x{profile.frame_height}, "
+        f"{profile.frames_per_trailer} frames/trailer)"
+    )
+    print(f"artifact cache: {artifact_dir()}")
+    for f in sorted(artifact_dir().glob("*.json")):
+        print(f"  cached: {f.name}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.boosting.cascade_trainer import CascadeTrainer, default_negative_source
+    from repro.data.faces import render_training_chip
+    from repro.haar.enumeration import subsampled_feature_pool
+    from repro.utils.rng import rng_for
+
+    rng = rng_for(args.seed, "cli-train")
+    print(f"rendering {args.faces} training faces...")
+    faces = np.stack([render_training_chip(rng, 24) for _ in range(args.faces)])
+    pool = subsampled_feature_pool(args.pool, seed=args.seed)
+    sizes = [int(s) for s in args.stages.split(",")]
+    trainer = CascadeTrainer(pool, algorithm=args.algorithm)
+    print(f"training {len(sizes)} stages {sizes} with the {args.algorithm} learner...")
+    cascade, reports = trainer.train(
+        faces,
+        stage_sizes=sizes,
+        negative_source=default_negative_source(args.seed),
+        name=Path(args.output).stem,
+        seed=args.seed,
+    )
+    for r in reports:
+        print(
+            f"  stage {r.index + 1:2d}: {r.size:3d} weak, hit {r.hit_rate:.3f}, "
+            f"stage FPR {r.false_positive_rate:.3f}"
+        )
+    cascade.save(args.output)
+    print(f"cascade ({cascade.num_weak_classifiers} weak classifiers) -> {args.output}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.config import active_profile
+
+    profile = active_profile()
+    drivers = {
+        "table1": lambda: _fmt("table1", profile),
+        "table2": lambda: _fmt("table2", profile),
+        "fig5": lambda: _fmt("fig5", profile),
+        "fig6": lambda: _fmt("fig6", profile),
+        "fig7": lambda: _fmt("fig7", profile),
+        "fig8": lambda: _fmt("fig8", profile),
+        "fig9": lambda: _fmt("fig9", profile),
+    }
+    if args.experiment not in drivers:
+        print(f"unknown experiment {args.experiment!r}; choose from {sorted(drivers)}")
+        return 2
+    print(drivers[args.experiment]())
+    return 0
+
+
+def _fmt(name: str, profile) -> str:
+    if name == "table1":
+        from repro.experiments.table1 import run_table1
+
+        return run_table1().format_table()
+    if name == "table2":
+        from repro.experiments.table2 import run_table2
+
+        return run_table2(profile).format_table()
+    if name == "fig5":
+        from repro.experiments.fig5 import run_fig5
+
+        return run_fig5(profile).format_summary()
+    if name == "fig6":
+        from repro.experiments.fig6 import run_fig6
+
+        return run_fig6(profile).format_trace()
+    if name == "fig7":
+        from repro.experiments.fig7 import run_fig7
+
+        return run_fig7(profile).format_table()
+    if name == "fig8":
+        from repro.experiments.fig8 import run_fig8
+
+        return run_fig8(profile).format_table()
+    from repro.experiments.fig9 import run_fig9
+
+    return run_fig9(profile).format_table()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Face detection reproduction (Oro et al., ICPP 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("detect", help="detect faces in an image")
+    p.add_argument("image", nargs="?", help="PGM/PPM image (omit for a demo scene)")
+    p.add_argument("--output", "-o", help="write annotated PPM here")
+    p.add_argument("--profile", default="quick", help="cascade profile (quick/paper/opencv)")
+    p.add_argument("--width", type=int, default=320)
+    p.add_argument("--height", type=int, default=240)
+    p.add_argument("--faces", type=int, default=3)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_detect)
+
+    p = sub.add_parser("trailers", help="list the synthetic trailers")
+    p.set_defaults(func=_cmd_trailers)
+
+    p = sub.add_parser("info", help="device model / profile / cache info")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("train", help="train a cascade and save it as JSON")
+    p.add_argument("--output", "-o", default="cascade.json")
+    p.add_argument("--stages", default="4,6,8,12", help="comma-separated stage sizes")
+    p.add_argument("--faces", type=int, default=250)
+    p.add_argument("--pool", type=int, default=800)
+    p.add_argument("--algorithm", choices=("gentle", "ada"), default="gentle")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("bench", help="run one experiment driver")
+    p.add_argument("experiment", help="table1|table2|fig5|fig6|fig7|fig8|fig9")
+    p.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

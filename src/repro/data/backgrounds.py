@@ -1,0 +1,88 @@
+"""Textured background synthesis (the negative-example source).
+
+Backgrounds mix smooth gradients, band-limited noise and rectangular
+clutter.  The clutter level controls how many face-adjacent structures
+(dark/bright rectangles, edges) appear — backgrounds with structure are what
+make the later cascade stages earn their keep, mirroring the paper's use of
+"backgrounds and other objects as examples of non-faces".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["render_background", "sample_patches"]
+
+
+def _band_limited_noise(h: int, w: int, cells: int, rng: np.random.Generator) -> np.ndarray:
+    """Smooth noise: a coarse random grid bilinearly upsampled to (h, w)."""
+    cells = max(2, cells)
+    coarse = rng.uniform(0.0, 1.0, (cells, cells))
+    ys = np.linspace(0, cells - 1, h)
+    xs = np.linspace(0, cells - 1, w)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, cells - 1)
+    x1 = np.minimum(x0 + 1, cells - 1)
+    fy = (ys - y0)[:, None]
+    fx = (xs - x0)[None, :]
+    top = coarse[np.ix_(y0, x0)] * (1 - fx) + coarse[np.ix_(y0, x1)] * fx
+    bot = coarse[np.ix_(y1, x0)] * (1 - fx) + coarse[np.ix_(y1, x1)] * fx
+    return top * (1 - fy) + bot * fy
+
+
+def render_background(
+    height: int, width: int, rng: np.random.Generator, clutter: float = 0.5
+) -> np.ndarray:
+    """Render a ``height`` x ``width`` background (float32, 0..255)."""
+    if height < 4 or width < 4:
+        raise ConfigurationError("background must be at least 4x4")
+    if not (0.0 <= clutter <= 1.0):
+        raise ConfigurationError(f"clutter must be in [0, 1], got {clutter}")
+
+    base = rng.uniform(60, 180)
+    img = np.full((height, width), base, dtype=np.float64)
+
+    # large-scale illumination gradient
+    gx, gy = rng.uniform(-40, 40), rng.uniform(-40, 40)
+    ys = np.linspace(-0.5, 0.5, height)[:, None]
+    xs = np.linspace(-0.5, 0.5, width)[None, :]
+    img += gx * xs + gy * ys
+
+    # two octaves of band-limited texture
+    img += rng.uniform(10, 45) * (_band_limited_noise(height, width, 6, rng) - 0.5)
+    img += rng.uniform(5, 25) * (_band_limited_noise(height, width, 18, rng) - 0.5)
+
+    # rectangular clutter: windows, signs, shadows
+    n_rects = rng.poisson(clutter * max(4.0, height * width / 4000.0))
+    for _ in range(int(n_rects)):
+        rw = int(rng.integers(4, max(5, width // 3)))
+        rh = int(rng.integers(4, max(5, height // 3)))
+        x0 = int(rng.integers(0, max(1, width - rw)))
+        y0 = int(rng.integers(0, max(1, height - rh)))
+        img[y0 : y0 + rh, x0 : x0 + rw] += rng.uniform(-55, 55)
+
+    img += rng.normal(0, 3.0, img.shape)
+    return np.clip(img, 0.0, 255.0).astype(np.float32)
+
+
+def sample_patches(
+    image: np.ndarray, size: int, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample ``count`` random ``size`` x ``size`` patches from ``image``.
+
+    Returns an array of shape ``(count, size, size)``.  Used for negative
+    bootstrapping: the cascade trainer mines patches that the partial
+    cascade still accepts.
+    """
+    img = np.asarray(image)
+    h, w = img.shape
+    if h < size or w < size:
+        raise ConfigurationError(f"image {h}x{w} smaller than patch size {size}")
+    if count <= 0:
+        raise ConfigurationError("count must be positive")
+    ys = rng.integers(0, h - size + 1, count)
+    xs = rng.integers(0, w - size + 1, count)
+    return np.stack([img[y : y + size, x : x + size] for y, x in zip(ys, xs)])

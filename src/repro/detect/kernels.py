@@ -1,0 +1,294 @@
+"""The cascade evaluation kernel — Section III-C.
+
+This is "the most resource-intensive part of the face detection pipeline".
+Functionally, every window anchor of a pyramid level walks the boosted
+cascade until a stage rejects it; the kernel's output is the paper's array
+of *deepest stage reached* per anchor (Section III-D), from which both
+detections (depth == number of stages) and the Fig. 7 rejection histograms
+are read.
+
+Execution model mirrored from the paper:
+
+* one thread per window anchor, ``n x m`` anchors per block (Eqs. 1-4, via
+  :class:`~repro.detect.windows.BlockMapping`), integral pixels staged
+  through shared memory;
+* all feature data read from constant memory (broadcast, Section III-C);
+* warp-level SIMT semantics: a warp keeps executing a stage as long as *any*
+  of its lanes is still alive, so the timing-layer cost of a block is driven
+  by each warp's deepest lane, and lanes that reject early simply idle —
+  the divergence behaviour whose measured branch efficiency the paper
+  reports as 98.9 %.
+
+The functional layer is fully vectorised: early stages evaluate densely over
+the whole anchor grid (cheap slice arithmetic while most anchors are alive),
+later stages gather only surviving anchors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.detect.windows import BlockMapping
+from repro.gpusim.kernel import BlockWork, KernelLaunch, LaunchConfig
+from repro.haar.cascade import Cascade
+from repro.haar.features import feature_rects, feature_values_at, feature_values_grid
+from repro.image.integral import integral_image, squared_integral_image
+
+__all__ = ["CascadeKernelResult", "cascade_eval_kernel", "stage_instruction_costs"]
+
+# -- calibration constants (see DESIGN.md section 6) -------------------------
+#: warp instructions per Haar rectangle: 4 shared fetches + address math +
+#: the multiply-accumulate (paper: 9 memory accesses per rectangle)
+INSTR_PER_RECT = 34.0
+#: per-classifier overhead: threshold compare against sigma, vote accumulate
+INSTR_PER_CLASSIFIER = 26.0
+#: per-stage overhead: stage-sum test and exit branch
+INSTR_PER_STAGE = 14.0
+#: staging instructions per thread (the four Eq. 1-4 transfers)
+INSTR_STAGING_PER_THREAD = 10.0
+#: shared-memory bytes touched per classifier per warp (4 corners x 4 B x
+#: 32 lanes per rectangle)
+SHARED_BYTES_PER_RECT_WARP = 512.0
+#: constant-memory requests per classifier (geometry words + threshold/votes)
+CONST_REQUESTS_PER_CLASSIFIER = 5.0
+#: L2 hit rate of the staging reads: the integral image was just written by
+#: the integral kernels and neighbouring blocks share three quarters of each
+#: tile (Eqs. 1-4), so almost all staging traffic is absorbed by the cache.
+#: This is why the paper measures only 9.57-532 MB/s of DRAM reads.
+L2_HIT_RATE = 0.985
+
+#: switch from dense grid evaluation to sparse gathers below this live ratio
+_SPARSE_THRESHOLD = 0.04
+
+#: window area used by the variance normalisation
+_WINDOW_AREA = 24 * 24
+
+
+@lru_cache(maxsize=64)
+def stage_instruction_costs(cascade: Cascade) -> np.ndarray:
+    """Warp instructions to execute each stage once (length S array).
+
+    Cached per cascade: the pipeline queries this for every pyramid level
+    of every frame.
+    """
+    costs = []
+    for stage in cascade.stages:
+        instr = INSTR_PER_STAGE
+        for c in stage.classifiers:
+            instr += INSTR_PER_CLASSIFIER + INSTR_PER_RECT * len(feature_rects(c.feature))
+        costs.append(instr)
+    return np.array(costs, dtype=np.float64)
+
+
+@lru_cache(maxsize=64)
+def _stage_shared_bytes(cascade: Cascade) -> np.ndarray:
+    """Shared-memory bytes per warp to execute each stage once (cached)."""
+    return np.array(
+        [
+            sum(SHARED_BYTES_PER_RECT_WARP * len(feature_rects(c.feature)) for c in s.classifiers)
+            for s in cascade.stages
+        ]
+    )
+
+
+@lru_cache(maxsize=64)
+def _stage_const_requests(cascade: Cascade) -> np.ndarray:
+    """Constant-memory requests per warp per stage (cached)."""
+    return np.array(
+        [CONST_REQUESTS_PER_CLASSIFIER * len(s) + 1 for s in cascade.stages]
+    )
+
+
+@dataclass
+class CascadeKernelResult:
+    """Functional + timing output of one cascade kernel launch."""
+
+    depth_map: np.ndarray  # (ay, ax) int32: stages passed per anchor
+    margin_map: np.ndarray  # (ay, ax): last evaluated stage's margin
+    sigma_map: np.ndarray  # (ay, ax): per-window pixel std deviations
+    launch: KernelLaunch
+    mapping: BlockMapping
+    rejections_by_depth: np.ndarray  # (S+1,): anchors whose depth == k
+
+    @property
+    def accepted(self) -> tuple[np.ndarray, np.ndarray]:
+        """(ys, xs) anchors accepted by every stage."""
+        full = int(self.rejections_by_depth.shape[0] - 1)
+        ys, xs = np.nonzero(self.depth_map == full)
+        return ys, xs
+
+    @property
+    def score_map(self) -> np.ndarray:
+        """Detection score per anchor: depth plus a squashed margin.
+
+        Monotone in the stage depth, tie-broken by the margin of the last
+        stage evaluated — the scalar the Fig. 9 threshold sweep varies.
+        """
+        return self.depth_map + 1.0 / (1.0 + np.exp(-np.clip(self.margin_map, -30, 30)))
+
+
+def cascade_eval_kernel(
+    level_image: np.ndarray,
+    cascade: Cascade,
+    stream: int,
+    *,
+    mapping: BlockMapping | None = None,
+    name: str | None = None,
+    integral: np.ndarray | None = None,
+    squared: np.ndarray | None = None,
+) -> CascadeKernelResult:
+    """Evaluate ``cascade`` over every window anchor of one pyramid level.
+
+    ``integral``/``squared`` may be passed when the pipeline already
+    computed them (the Fig. 1 integral stage); otherwise they are built
+    here.  Returns the functional maps plus a timing-layer
+    :class:`KernelLaunch` whose per-block work is derived from the measured
+    warp depths (SIMT semantics, see module docstring).
+    """
+    img = np.asarray(level_image, dtype=np.float64)
+    if img.ndim != 2:
+        raise ConfigurationError(f"level image must be 2-D, got shape {img.shape}")
+    if cascade.window != 24:
+        raise ConfigurationError("the kernel is specialised for 24x24 windows")
+    mapping = mapping or BlockMapping(level_width=img.shape[1], level_height=img.shape[0])
+    ii = integral_image(img) if integral is None else integral
+    sq = squared_integral_image(img) if squared is None else squared
+
+    ay, ax = mapping.anchors_y, mapping.anchors_x
+    w = mapping.window
+    win_sum = ii[w:, w:] - ii[:-w, w:] - ii[w:, :-w] + ii[:-w, :-w]
+    win_sq = sq[w:, w:] - sq[:-w, w:] - sq[w:, :-w] + sq[:-w, :-w]
+    win_sum = win_sum[:ay, :ax]
+    win_sq = win_sq[:ay, :ax]
+    mean = win_sum / _WINDOW_AREA
+    sigma = np.sqrt(np.maximum(win_sq / _WINDOW_AREA - mean * mean, 1.0))
+
+    depth = np.zeros((ay, ax), dtype=np.int32)
+    margin = np.zeros((ay, ax), dtype=np.float64)
+    alive_mask = np.ones((ay, ax), dtype=bool)
+    sparse_anchors: tuple[np.ndarray, np.ndarray] | None = None
+    total_anchors = ay * ax
+
+    for stage in cascade.stages:
+        if sparse_anchors is None:
+            live = int(alive_mask.sum())
+            if live == 0:
+                break
+            if live < max(64, _SPARSE_THRESHOLD * total_anchors):
+                sparse_anchors = np.nonzero(alive_mask)
+        if sparse_anchors is not None:
+            ys, xs = sparse_anchors
+            if ys.size == 0:
+                break
+            sums = np.zeros(ys.size)
+            sig = sigma[ys, xs]
+            for c in stage.classifiers:
+                vals = feature_values_at(ii, c.feature, ys, xs)
+                sums += np.where(vals <= c.threshold * sig, c.left, c.right)
+            margin[ys, xs] = sums - stage.threshold
+            passed = sums >= stage.threshold
+            depth[ys[passed], xs[passed]] += 1
+            sparse_anchors = (ys[passed], xs[passed])
+        else:
+            sums = np.zeros((ay, ax))
+            for c in stage.classifiers:
+                vals = feature_values_grid(ii, c.feature)[:ay, :ax]
+                sums += np.where(vals <= c.threshold * sigma, c.left, c.right)
+            margin[alive_mask] = (sums - stage.threshold)[alive_mask]
+            passed = alive_mask & (sums >= stage.threshold)
+            depth[passed] += 1
+            alive_mask = passed
+
+    n_stages = cascade.num_stages
+    rejections = np.bincount(depth.ravel(), minlength=n_stages + 1)
+    launch = _build_launch(cascade, mapping, depth, stream, name)
+    return CascadeKernelResult(
+        depth_map=depth,
+        margin_map=margin,
+        sigma_map=sigma,
+        launch=launch,
+        mapping=mapping,
+        rejections_by_depth=rejections,
+    )
+
+
+def _build_launch(
+    cascade: Cascade,
+    mapping: BlockMapping,
+    depth: np.ndarray,
+    stream: int,
+    name: str | None,
+) -> KernelLaunch:
+    """Derive the timing-layer launch from the measured anchor depths."""
+    stage_instr = stage_instruction_costs(cascade)
+    cum_instr = np.concatenate([[0.0], np.cumsum(stage_instr)])
+    cum_shared = np.concatenate([[0.0], np.cumsum(_stage_shared_bytes(cascade))])
+    cum_const = np.concatenate([[0.0], np.cumsum(_stage_const_requests(cascade))])
+    n_stages = cascade.num_stages
+
+    bw, bh = mapping.block_w, mapping.block_h
+    by, bx = mapping.blocks_y, mapping.blocks_x
+
+    def tile_warps(padded: np.ndarray) -> np.ndarray:
+        # (by, bh, bx, bw) -> (by, bx, bh, bw) -> (nblocks, warps, 32)
+        return (
+            padded.reshape(by, bh, bx, bw)
+            .transpose(0, 2, 1, 3)
+            .reshape(by * bx, -1, 32)
+        )
+
+    # Out-of-grid lanes (edge blocks) exit at the bounds check: they add no
+    # work and no divergence.  Pad with -1 for the max (never deepens a
+    # warp) and with n_stages for the min (never widens its depth spread).
+    pad_lo = np.full((by * bh, bx * bw), -1, dtype=np.int32)
+    pad_lo[: depth.shape[0], : depth.shape[1]] = depth
+    pad_hi = np.full((by * bh, bx * bw), n_stages, dtype=np.int32)
+    pad_hi[: depth.shape[0], : depth.shape[1]] = depth
+    warps_lo = tile_warps(pad_lo)
+    warps_hi = tile_warps(pad_hi)
+    # a warp executes stage k while any lane is alive: stages executed =
+    # min(deepest lane depth + 1, S)
+    warp_exec = np.minimum(warps_lo.max(axis=2) + 1, n_stages)
+    warp_min = np.minimum(np.minimum(warps_hi.min(axis=2), warps_lo.max(axis=2)) + 1, n_stages)
+    warps = warps_lo
+
+    staging = INSTR_STAGING_PER_THREAD * mapping.threads_per_block / 32.0
+    instr = cum_instr[warp_exec].sum(axis=1) + staging * warps.shape[1]
+    shared = cum_shared[warp_exec].sum(axis=1) + mapping.shared_tile_bytes
+    const = cum_const[warp_exec].sum(axis=1)
+
+    # branch accounting: one exit branch per executed stage, divergent when
+    # the warp's lanes leave at different stages
+    branches = warp_exec.astype(np.float64) + cum_instr[warp_exec] / 20.0
+    divergent = (warp_exec - warp_min).astype(np.float64)
+    # staging reads of the integral + squared-integral tiles, coalesced and
+    # mostly L2-resident; depth-map write per thread
+    dram_read = 2.0 * mapping.shared_tile_bytes * (1.0 - L2_HIT_RATE)
+    dram_write = mapping.threads_per_block * 4.0
+
+    work = BlockWork(
+        warp_instructions=instr,
+        dram_bytes_read=np.full(mapping.grid_blocks, dram_read),
+        dram_bytes_written=np.full(mapping.grid_blocks, dram_write),
+        branches=branches.sum(axis=1),
+        divergent_branches=divergent.sum(axis=1),
+        shared_bytes=shared,
+        constant_requests=const,
+    )
+    config = LaunchConfig(
+        grid_blocks=mapping.grid_blocks,
+        threads_per_block=mapping.threads_per_block,
+        regs_per_thread=24,
+        shared_mem_per_block=mapping.shared_tile_bytes,
+    )
+    return KernelLaunch(
+        name=name or f"cascade_{mapping.level_width}x{mapping.level_height}",
+        config=config,
+        work=work,
+        stream=stream,
+        tag="cascade",
+    )

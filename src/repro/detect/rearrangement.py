@@ -1,0 +1,147 @@
+"""Thread-rearrangement evaluation strategy (Herout et al., ref [12]).
+
+The related-work alternative to the paper's design: instead of letting
+early-rejected threads idle inside their warps, the cascade is evaluated in
+*batches* of stages; after each batch the surviving window positions are
+compacted (a prefix-sum pass) into dense thread blocks and the kernel is
+relaunched, so the next batch runs with every lane active.  The price is
+one compaction pass plus a kernel relaunch per batch, and global-memory
+traffic for the survivor queues (the staged shared-memory tiling of
+Eqs. 1-4 no longer applies once windows scatter).
+
+This module derives the rearrangement launch sequence for a level from the
+*measured* depth map (the functional result is identical by construction —
+only the execution schedule differs), so the Section VI comparison between
+the two strategies uses exactly the same workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detect.kernels import CascadeKernelResult, stage_instruction_costs
+from repro.errors import ConfigurationError
+from repro.gpusim.kernel import BlockWork, KernelLaunch, LaunchConfig
+from repro.haar.cascade import Cascade
+
+__all__ = ["rearrangement_launches", "default_stage_batches"]
+
+#: threads per rearranged block (dense, one window per thread)
+_THREADS = 256
+
+#: global-memory bytes per surviving window per batch: read position +
+#: 4 integral fetches per rectangle go to L2/global instead of shared
+_BYTES_PER_WINDOW = 48.0
+
+
+def default_stage_batches(n_stages: int) -> list[list[int]]:
+    """Herout-style geometric batching: 1, 1, 2, 4, ... stages per relaunch."""
+    if n_stages <= 0:
+        raise ConfigurationError("n_stages must be positive")
+    batches: list[list[int]] = []
+    start = 0
+    width = 1
+    while start < n_stages:
+        end = min(start + width, n_stages)
+        batches.append(list(range(start, end)))
+        start = end
+        width = min(width * 2, 8)
+    return batches
+
+
+def _compaction_launch(
+    n_candidates: int, stream: int, name: str
+) -> KernelLaunch:
+    """Prefix-sum compaction of the survivor flags into a dense queue."""
+    blocks = max(1, -(-n_candidates // (2 * _THREADS)))
+    work = BlockWork.from_uniform(
+        blocks,
+        warp_instructions=2 * _THREADS / 32 * 8,
+        dram_bytes_read=min(n_candidates, 2 * _THREADS) * 4.0,
+        dram_bytes_written=min(n_candidates, 2 * _THREADS) * 4.0,
+        branches=_THREADS / 32 * 4,
+        shared_bytes=2.0 * 2 * _THREADS * 4,
+    )
+    return KernelLaunch(
+        name=name,
+        config=LaunchConfig(
+            grid_blocks=blocks,
+            threads_per_block=_THREADS,
+            regs_per_thread=12,
+            shared_mem_per_block=2 * _THREADS * 4 + 64,
+        ),
+        work=work,
+        stream=stream,
+        tag="compaction",
+    )
+
+
+def rearrangement_launches(
+    cascade: Cascade,
+    result: CascadeKernelResult,
+    stream: int,
+    *,
+    batches: list[list[int]] | None = None,
+    level_tag: str = "",
+) -> list[KernelLaunch]:
+    """Launch sequence of the rearrangement strategy for one level.
+
+    Uses the measured per-anchor depths to size every relaunch: batch ``k``
+    processes exactly the windows that survived the previous batches, in
+    dense blocks with (almost) no intra-warp divergence.
+    """
+    depth = result.depth_map
+    n_stages = cascade.num_stages
+    batches = batches or default_stage_batches(n_stages)
+    stage_instr = stage_instruction_costs(cascade)
+
+    total_anchors = depth.size
+    launches: list[KernelLaunch] = []
+    for bi, batch in enumerate(batches):
+        first = batch[0]
+        survivors = int(np.sum(depth >= first))
+        if survivors == 0:
+            break
+        if bi > 0:
+            launches.append(
+                _compaction_launch(
+                    prev_survivor_pool, stream, f"compact{level_tag}_b{bi}"
+                )
+            )
+        blocks = max(1, -(-survivors // _THREADS))
+        # per-warp cost: lanes stay dense, so a warp pays each stage of the
+        # batch for as long as >= 1 of its (rearranged) lanes is alive;
+        # with random lane packing virtually every warp runs the full batch
+        batch_instr = float(stage_instr[batch].sum())
+        instr = (_THREADS // 32) * batch_instr  # per block: every warp, dense
+        classifiers = sum(len(cascade.stages[s]) for s in batch)
+        work = BlockWork.from_uniform(
+            blocks,
+            warp_instructions=instr,
+            dram_bytes_read=_THREADS * _BYTES_PER_WINDOW * max(1, classifiers // 8),
+            dram_bytes_written=_THREADS * 4.0,
+            branches=(_THREADS // 32) * (classifiers + len(batch)),
+            # dense packing: only the one ragged tail warp per grid diverges
+            divergent_branches=(_THREADS // 32) * (classifiers + len(batch)) * 0.002,
+            constant_requests=5.0 * classifiers,
+        )
+        launches.append(
+            KernelLaunch(
+                name=f"rearranged{level_tag}_b{bi}",
+                config=LaunchConfig(
+                    grid_blocks=blocks, threads_per_block=_THREADS, regs_per_thread=24
+                ),
+                work=work,
+                stream=stream,
+                tag="cascade",
+            )
+        )
+        prev_survivor_pool = survivors
+    if not launches:
+        # degenerate: nothing survived stage 0 anywhere — still one launch
+        launches.append(
+            _compaction_launch(total_anchors, stream, f"compact{level_tag}_b0")
+        )
+    return launches

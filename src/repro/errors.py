@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch library failures without also swallowing programming mistakes such
+as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "LaunchError",
+    "MemoryModelError",
+    "CascadeFormatError",
+    "TrainingError",
+    "BitstreamError",
+    "EvaluationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is missing, inconsistent, or out of range."""
+
+
+class LaunchError(ReproError):
+    """A simulated kernel launch was invalid (grid/block/resource limits)."""
+
+
+class MemoryModelError(ReproError):
+    """An access violated the simulated GPU memory model."""
+
+
+class CascadeFormatError(ReproError):
+    """A cascade file or in-memory cascade description is malformed."""
+
+
+class TrainingError(ReproError):
+    """Boosted-cascade training could not meet its targets or inputs."""
+
+
+class BitstreamError(ReproError):
+    """A mock H.264 bitstream is malformed or cannot be demuxed."""
+
+
+class EvaluationError(ReproError):
+    """Accuracy evaluation received inconsistent detections/annotations."""

@@ -1,0 +1,74 @@
+"""Synthetic accuracy-benchmark datasets (the SCFace substitute).
+
+The paper evaluates on the visible-light mug-shot subset of SCFace plus
+3 000 high-resolution background images.  Offline we synthesise the
+equivalents: mug shots are single, roughly centred, large frontal faces with
+exact eye annotations; background images contain no faces and supply the
+false-positive statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.backgrounds import render_background
+from repro.data.faces import FaceParams
+from repro.errors import ConfigurationError
+from repro.utils.rng import rng_for
+from repro.video.synthesis import FaceAnnotation, composite_face
+
+__all__ = ["MugshotSample", "mugshot_dataset", "background_dataset"]
+
+
+@dataclass(frozen=True)
+class MugshotSample:
+    """One evaluation image with its (possibly empty) ground truth."""
+
+    image: np.ndarray
+    truth: list[FaceAnnotation]
+
+
+def mugshot_dataset(
+    count: int,
+    *,
+    width: int = 192,
+    height: int = 192,
+    seed: int = 0,
+) -> list[MugshotSample]:
+    """Synthetic mug shots: one large, near-centred frontal face each."""
+    if count <= 0:
+        raise ConfigurationError("count must be positive")
+    samples = []
+    for i in range(count):
+        rng = rng_for(seed, "mugshot", i)
+        frame = render_background(height, width, rng, clutter=0.25).astype(np.float64)
+        size = int(rng.uniform(0.45, 0.70) * min(width, height))
+        x = int((width - size) / 2 + rng.uniform(-0.08, 0.08) * width)
+        y = int((height - size) / 2 + rng.uniform(-0.08, 0.08) * height)
+        x = int(np.clip(x, 0, width - size))
+        y = int(np.clip(y, 0, height - size))
+        ann = composite_face(frame, FaceParams.sample(rng), x, y, size, rng)
+        samples.append(MugshotSample(image=frame.astype(np.float32), truth=[ann]))
+    return samples
+
+
+def background_dataset(
+    count: int,
+    *,
+    width: int = 192,
+    height: int = 192,
+    seed: int = 0,
+    clutter: float = 0.75,
+) -> list[MugshotSample]:
+    """Face-free images for false-positive statistics (paper: 3 000)."""
+    if count <= 0:
+        raise ConfigurationError("count must be positive")
+    return [
+        MugshotSample(
+            image=render_background(height, width, rng_for(seed, "eval-bg", i), clutter=clutter),
+            truth=[],
+        )
+        for i in range(count)
+    ]

@@ -1,0 +1,96 @@
+"""Detection-to-ground-truth association (Section VI-B).
+
+Grouped detections are assigned to annotations with the Hungarian
+algorithm, using S_eyes as the cost function; assignments below the
+overlap threshold count as true positives, everything else as false
+positives / negatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detect.detector import Detection
+from repro.errors import EvaluationError
+from repro.evaluation.hungarian import hungarian
+from repro.evaluation.metrics import s_eyes
+from repro.video.synthesis import FaceAnnotation
+
+__all__ = ["MatchResult", "ScoredDetection", "match_detections"]
+
+#: cost assigned to pairings worse than the threshold, so Hungarian never
+#: prefers an invalid pairing over leaving both unmatched
+_BLOCK_COST = 1e6
+
+
+@dataclass(frozen=True)
+class ScoredDetection:
+    """A detection's score plus whether it matched ground truth."""
+
+    score: float
+    matched: bool
+    distance: float  # S_eyes to the matched annotation (inf when unmatched)
+
+
+@dataclass
+class MatchResult:
+    """TP/FP/FN accounting for one image."""
+
+    pairs: list[tuple[int, int, float]]  # (det index, truth index, s_eyes)
+    unmatched_detections: list[int]
+    unmatched_truth: list[int]
+
+    @property
+    def tp(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def fp(self) -> int:
+        return len(self.unmatched_detections)
+
+    @property
+    def fn(self) -> int:
+        return len(self.unmatched_truth)
+
+    def scored(self, detections: list[Detection]) -> list[ScoredDetection]:
+        """Per-detection scores/labels for threshold sweeps (Fig. 9)."""
+        by_det = {d: (t, s) for d, t, s in self.pairs}
+        out = []
+        for i, det in enumerate(detections):
+            if i in by_det:
+                out.append(ScoredDetection(score=det.score, matched=True, distance=by_det[i][1]))
+            else:
+                out.append(ScoredDetection(score=det.score, matched=False, distance=np.inf))
+        return out
+
+
+def match_detections(
+    detections: list[Detection],
+    truth: list[FaceAnnotation],
+    threshold: float = 0.5,
+) -> MatchResult:
+    """Associate detections with annotations via Hungarian + S_eyes."""
+    if threshold <= 0:
+        raise EvaluationError("threshold must be positive")
+    if not detections or not truth:
+        return MatchResult(
+            pairs=[],
+            unmatched_detections=list(range(len(detections))),
+            unmatched_truth=list(range(len(truth))),
+        )
+    cost = np.empty((len(detections), len(truth)))
+    for i, det in enumerate(detections):
+        for j, ann in enumerate(truth):
+            s = s_eyes(det.left_eye, det.right_eye, ann.left_eye, ann.right_eye)
+            cost[i, j] = s if s < threshold else _BLOCK_COST + s
+    pairs, _ = hungarian(cost)
+    valid = [(i, j, float(cost[i, j])) for i, j in pairs if cost[i, j] < threshold]
+    matched_dets = {i for i, _, _ in valid}
+    matched_truth = {j for _, j, _ in valid}
+    return MatchResult(
+        pairs=valid,
+        unmatched_detections=[i for i in range(len(detections)) if i not in matched_dets],
+        unmatched_truth=[j for j in range(len(truth)) if j not in matched_truth],
+    )

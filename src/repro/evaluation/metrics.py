@@ -1,0 +1,56 @@
+"""Detection/annotation agreement metrics (Section VI-B).
+
+Two scores from the paper:
+
+* :func:`s_square` — Eq. 5, the classic intersection-over-union of the
+  detection and annotation areas;
+* :func:`s_eyes` — Eq. 6, the eye-based distance the paper prefers because
+  it is invariant to each cascade's alignment convention.  **Lower is
+  better** (it is a distance); the paper calls two windows overlapping when
+  ``s_eyes < 0.5``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+__all__ = ["s_square", "s_eyes"]
+
+
+def s_square(
+    a: tuple[float, float, float, float], b: tuple[float, float, float, float]
+) -> float:
+    """Eq. 5: ratio of intersected to joined areas of two ``(x, y, w, h)`` boxes."""
+    ax, ay, aw, ah = a
+    bx, by, bw, bh = b
+    if aw <= 0 or ah <= 0 or bw <= 0 or bh <= 0:
+        raise EvaluationError("boxes must have positive dimensions")
+    ix = max(0.0, min(ax + aw, bx + bw) - max(ax, bx))
+    iy = max(0.0, min(ay + ah, by + bh) - max(ay, by))
+    inter = ix * iy
+    union = aw * ah + bw * bh - inter
+    return inter / union
+
+
+def s_eyes(
+    pred_left: tuple[float, float],
+    pred_right: tuple[float, float],
+    true_left: tuple[float, float],
+    true_right: tuple[float, float],
+) -> float:
+    """Eq. 6: ``(d_le + d_re) / min(d1, d2)``.
+
+    ``d_le``/``d_re`` are the distances between predicted and annotated eye
+    locations; ``d1``/``d2`` the inter-ocular distances implied by each
+    source.  Lower values mean better localisation.
+    """
+    dle = float(np.hypot(pred_left[0] - true_left[0], pred_left[1] - true_left[1]))
+    dre = float(np.hypot(pred_right[0] - true_right[0], pred_right[1] - true_right[1]))
+    d1 = float(np.hypot(pred_right[0] - pred_left[0], pred_right[1] - pred_left[1]))
+    d2 = float(np.hypot(true_right[0] - true_left[0], true_right[1] - true_left[1]))
+    denom = min(d1, d2)
+    if denom <= 0:
+        raise EvaluationError("degenerate eye annotation: zero inter-ocular distance")
+    return (dle + dre) / denom

@@ -1,0 +1,80 @@
+"""TPR/FP curve construction (Fig. 9).
+
+"The resulting curve is plotted by varying a threshold over the detection
+score, and thus obtaining different combinations of the ratio TPR/FP."
+True-positive *rate* divides matched detections by the total annotated
+faces; false positives are reported as absolute counts (the paper's x-axis),
+accumulated over both the face images and the background-only image set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.evaluation.matching import ScoredDetection
+
+__all__ = ["RocCurve", "roc_curve"]
+
+
+@dataclass
+class RocCurve:
+    """A swept TPR/FP curve, ordered from strict to lax thresholds."""
+
+    thresholds: np.ndarray
+    tpr: np.ndarray
+    fp: np.ndarray
+    n_faces: int
+
+    def tpr_at_fp(self, max_fp: float) -> float:
+        """Highest TPR achievable with at most ``max_fp`` false positives."""
+        mask = self.fp <= max_fp
+        return float(self.tpr[mask].max()) if mask.any() else 0.0
+
+    def auc_normalised(self, max_fp: float) -> float:
+        """Area under the curve over ``fp in [0, max_fp]``, normalised to 1.
+
+        A scalar for "cascade A generally outperforms cascade B" claims.
+        """
+        if max_fp <= 0:
+            raise EvaluationError("max_fp must be positive")
+        grid = np.linspace(0.0, max_fp, 256)
+        values = [self.tpr_at_fp(f) for f in grid]
+        return float(np.trapezoid(values, grid) / max_fp)
+
+
+def roc_curve(samples: list[ScoredDetection], n_faces: int) -> RocCurve:
+    """Sweep the detection-score threshold over all scored detections.
+
+    ``samples`` pools every grouped detection from the evaluation set (both
+    face images and backgrounds), each labelled by whether it matched an
+    annotation.  The sweep visits every distinct score, from strictest to
+    laxest.
+    """
+    if n_faces <= 0:
+        raise EvaluationError("n_faces must be positive")
+    if not samples:
+        return RocCurve(
+            thresholds=np.array([np.inf]),
+            tpr=np.zeros(1),
+            fp=np.zeros(1),
+            n_faces=n_faces,
+        )
+    scores = np.array([s.score for s in samples])
+    matched = np.array([s.matched for s in samples])
+    order = np.argsort(-scores, kind="stable")
+    scores = scores[order]
+    matched = matched[order]
+    tp_cum = np.cumsum(matched)
+    fp_cum = np.cumsum(~matched)
+    # keep one point per distinct threshold (the last index of each score)
+    keep = np.nonzero(np.diff(scores, append=-np.inf))[0]
+    thresholds = scores[keep]
+    return RocCurve(
+        thresholds=thresholds,
+        tpr=tp_cum[keep] / n_faces,
+        fp=fp_cum[keep].astype(np.float64),
+        n_faces=n_faces,
+    )

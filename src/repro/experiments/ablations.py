@@ -1,0 +1,402 @@
+"""Ablation and micro-statistic experiments from Section VI's text.
+
+* branch efficiency (paper: 98.9 % non-divergent);
+* pipeline time breakdown (integral-image kernels ~20 % of frame time);
+* per-scale cascade-kernel DRAM read throughput (9.57-532 MB/s);
+* end-to-end fps with hardware decode overlapped (~70 fps at 1080p);
+* the 16-bit constant-memory feature encoding (fits vs raw, accuracy cost);
+* fixed-window pyramid vs variable-window occupancy (the Fig. 2 argument);
+* integral-image construction paths (CPU vs GPU crossover, ref [23]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import zoo
+from repro.boosting.cascade_trainer import evaluate_cascade_on_windows
+from repro.detect.pipeline import FaceDetectionPipeline
+from repro.detect.windows import BlockMapping
+from repro.experiments.config import ExperimentProfile, active_profile
+from repro.gpusim.device import GTX470
+from repro.gpusim.kernel import LaunchConfig
+from repro.gpusim.occupancy import OccupancyCalculator
+from repro.gpusim.scheduler import ExecutionMode
+from repro.haar.encoding import decode_cascade, encode_cascade, raw_cascade_bytes
+from repro.utils.rng import rng_for
+from repro.utils.tables import format_table
+from repro.utils.timing import WallTimer
+from repro.video.h264 import demux, encode_video
+from repro.video.decoder import HardwareDecoder
+from repro.video.trailer import trailer_frames
+
+__all__ = [
+    "DivergenceResult",
+    "run_divergence",
+    "BreakdownResult",
+    "run_pipeline_breakdown",
+    "DramThroughputResult",
+    "run_dram_throughput",
+    "EndToEndFpsResult",
+    "run_end_to_end_fps",
+    "EncodingAblation",
+    "run_encoding_ablation",
+    "WindowStrategyResult",
+    "run_window_strategy",
+    "IntegralPathResult",
+    "run_integral_paths",
+]
+
+
+# -- branch divergence --------------------------------------------------------
+
+
+@dataclass
+class DivergenceResult:
+    """Aggregated warp-divergence counters (paper: 98.9 % non-divergent)."""
+    branch_efficiency: float
+    branches: float
+    divergent: float
+
+    def format_summary(self) -> str:
+        return (
+            f"cascade-kernel branch efficiency: {100 * self.branch_efficiency:.2f} % "
+            f"({int(self.divergent)} divergent of {int(self.branches)} branches; "
+            f"paper: 98.9 %)"
+        )
+
+
+def run_divergence(
+    profile: ExperimentProfile | None = None, trailer: str = "50/50", seed: int = 0
+) -> DivergenceResult:
+    """Aggregate warp-divergence counters over a trailer's cascade kernels."""
+    profile = profile or active_profile()
+    pipeline = FaceDetectionPipeline(zoo.paper_cascade(seed))
+    branches = divergent = 0.0
+    for frame, _ in trailer_frames(
+        trailer, profile.frame_width, profile.frame_height,
+        min(profile.frames_per_trailer, 6), seed=profile.seed,
+    ):
+        result = pipeline.process_frame(frame)
+        for trace in result.schedule.timeline.traces:
+            if trace.tag == "cascade":
+                branches += trace.counters.branches
+                divergent += trace.counters.divergent_branches
+    return DivergenceResult(
+        branch_efficiency=1.0 - divergent / max(branches, 1.0),
+        branches=branches,
+        divergent=divergent,
+    )
+
+
+# -- pipeline breakdown -------------------------------------------------------
+
+
+@dataclass
+class BreakdownResult:
+    """Per-pipeline-stage busy-time shares (paper: integral ~20 %)."""
+    busy_by_tag: dict[str, float]
+
+    @property
+    def integral_fraction(self) -> float:
+        total = sum(self.busy_by_tag.values())
+        return self.busy_by_tag.get("integral", 0.0) / max(total, 1e-12)
+
+    @property
+    def cascade_fraction(self) -> float:
+        total = sum(self.busy_by_tag.values())
+        return self.busy_by_tag.get("cascade", 0.0) / max(total, 1e-12)
+
+    def format_table(self) -> str:
+        total = sum(self.busy_by_tag.values())
+        rows = [
+            [tag, round(1e3 * secs, 3), round(100 * secs / total, 1)]
+            for tag, secs in sorted(self.busy_by_tag.items(), key=lambda kv: -kv[1])
+        ]
+        return format_table(
+            ["pipeline stage", "busy (ms)", "share (%)"],
+            rows,
+            title="pipeline time breakdown (paper: integral ~20 %)",
+        )
+
+
+def run_pipeline_breakdown(
+    profile: ExperimentProfile | None = None, trailer: str = "50/50", seed: int = 0
+) -> BreakdownResult:
+    """Per-stage busy-time shares over several frames."""
+    profile = profile or active_profile()
+    pipeline = FaceDetectionPipeline(zoo.paper_cascade(seed))
+    busy: dict[str, float] = {}
+    for frame, _ in trailer_frames(
+        trailer, profile.frame_width, profile.frame_height,
+        min(profile.frames_per_trailer, 6), seed=profile.seed,
+    ):
+        for tag, secs in pipeline.process_frame(frame).stage_busy_seconds().items():
+            busy[tag] = busy.get(tag, 0.0) + secs
+    return BreakdownResult(busy_by_tag=busy)
+
+
+# -- DRAM throughput ----------------------------------------------------------
+
+
+@dataclass
+class DramThroughputResult:
+    """Per-scale cascade-kernel DRAM read throughputs (MB/s)."""
+    per_kernel_mbps: list[tuple[str, float]]
+
+    @property
+    def min_mbps(self) -> float:
+        return min(v for _, v in self.per_kernel_mbps)
+
+    @property
+    def max_mbps(self) -> float:
+        return max(v for _, v in self.per_kernel_mbps)
+
+    def format_summary(self) -> str:
+        return (
+            f"cascade-kernel DRAM read throughput: {self.min_mbps:.2f} - "
+            f"{self.max_mbps:.2f} MB/s across {len(self.per_kernel_mbps)} scale "
+            f"kernels (paper: 9.57 - 532 MB/s)"
+        )
+
+
+def run_dram_throughput(
+    profile: ExperimentProfile | None = None, trailer: str = "50/50", seed: int = 0
+) -> DramThroughputResult:
+    """Per-scale cascade-kernel DRAM read throughput on one frame."""
+    profile = profile or active_profile()
+    pipeline = FaceDetectionPipeline(zoo.paper_cascade(seed))
+    frame = next(
+        iter(
+            trailer_frames(
+                trailer, profile.frame_width, profile.frame_height, 1, seed=profile.seed
+            )
+        )
+    )[0]
+    result = pipeline.process_frame(frame)
+    rows = []
+    for trace in result.schedule.timeline.traces:
+        if trace.tag == "cascade" and trace.duration_s > 0:
+            rows.append(
+                (trace.name, trace.counters.dram_read_throughput(trace.duration_s) / 1e6)
+            )
+    return DramThroughputResult(per_kernel_mbps=rows)
+
+
+# -- end-to-end fps -----------------------------------------------------------
+
+
+@dataclass
+class EndToEndFpsResult:
+    """Decode + detect latencies and the resulting pipelined fps."""
+    decode_ms: float
+    detect_ms: float
+    fps_pipelined: float
+    fps_serialised: float
+
+    def format_summary(self) -> str:
+        return (
+            f"decode {self.decode_ms:.2f} ms, detect {self.detect_ms:.2f} ms -> "
+            f"{self.fps_pipelined:.1f} fps pipelined "
+            f"({self.fps_serialised:.1f} fps if serialised; paper: 70 fps at 1080p)"
+        )
+
+
+def run_end_to_end_fps(
+    profile: ExperimentProfile | None = None, trailer: str = "50/50", seed: int = 0
+) -> EndToEndFpsResult:
+    """Decode + detect throughput with the two stages overlapped.
+
+    The hardware decoder is fixed-function logic running concurrently with
+    the CUDA pipeline, so steady-state throughput is bounded by the slower
+    stage, not their sum (Section VI-A).
+    """
+    profile = profile or active_profile()
+    n_frames = min(profile.frames_per_trailer, 6)
+    frames = [
+        f
+        for f, _ in trailer_frames(
+            trailer, profile.frame_width, profile.frame_height, n_frames,
+            seed=profile.seed,
+        )
+    ]
+    stream = encode_video(frames, gop=max(2, n_frames // 2))
+    decoder = HardwareDecoder(stream, seed=seed)
+    pipeline = FaceDetectionPipeline(zoo.paper_cascade(seed))
+    decode_times = []
+    detect_times = []
+    for unit in demux(stream):
+        decoded = decoder.decode(unit)
+        decode_times.append(decoded.latency_s)
+        detect_times.append(
+            pipeline.process_frame(decoded.luma, ExecutionMode.CONCURRENT).detection_time_s
+        )
+    decode_ms = 1e3 * float(np.mean(decode_times))
+    detect_ms = 1e3 * float(np.mean(detect_times))
+    return EndToEndFpsResult(
+        decode_ms=decode_ms,
+        detect_ms=detect_ms,
+        fps_pipelined=1e3 / max(decode_ms, detect_ms),
+        fps_serialised=1e3 / (decode_ms + detect_ms),
+    )
+
+
+# -- feature encoding ---------------------------------------------------------
+
+
+@dataclass
+class EncodingAblation:
+    """Footprint and accuracy effect of the 16-bit cascade encoding."""
+    raw_bytes: int
+    packed_bytes: int
+    fits_packed: bool
+    fits_raw: bool
+    depth_agreement: float  # fraction of windows with identical cascade depth
+
+    def format_summary(self) -> str:
+        return (
+            f"cascade footprint: raw {self.raw_bytes} B (fits: {self.fits_raw}), "
+            f"packed {self.packed_bytes} B (fits: {self.fits_packed}); "
+            f"quantised-vs-float depth agreement {100 * self.depth_agreement:.2f} %"
+        )
+
+
+def run_encoding_ablation(seed: int = 0, n_windows: int = 400) -> EncodingAblation:
+    """Section III-C's compression: memory footprint and accuracy cost."""
+    cascade = zoo.opencv_like_cascade(seed)
+    encoded = encode_cascade(cascade)
+    decoded = decode_cascade(encoded)
+    rng = rng_for(seed, "encoding-ablation")
+    from repro.data.faces import render_training_chip
+
+    windows = np.stack(
+        [render_training_chip(rng, 24) for _ in range(n_windows // 2)]
+        + [rng.uniform(0, 255, (24, 24)) for _ in range(n_windows - n_windows // 2)]
+    )
+    depth_f, _ = evaluate_cascade_on_windows(cascade, windows)
+    depth_q, _ = evaluate_cascade_on_windows(decoded, windows)
+    return EncodingAblation(
+        raw_bytes=raw_cascade_bytes(cascade),
+        packed_bytes=encoded.nbytes,
+        fits_packed=encoded.nbytes <= GTX470.constant_mem_bytes,
+        fits_raw=raw_cascade_bytes(cascade) <= GTX470.constant_mem_bytes,
+        depth_agreement=float(np.mean(depth_f == depth_q)),
+    )
+
+
+# -- window strategy (Fig. 2) -------------------------------------------------
+
+
+@dataclass
+class WindowStrategyResult:
+    """Occupancy of fixed-window pyramid vs variable-window strategies."""
+    fixed_occupancy: float
+    variable_occupancy: dict[int, float]  # window size -> achieved occupancy
+
+    def format_table(self) -> str:
+        rows = [["fixed 24 px + pyramid", round(self.fixed_occupancy, 3)]]
+        for size, occ in sorted(self.variable_occupancy.items()):
+            rows.append([f"variable window {size} px", round(occ, 3)])
+        return format_table(
+            ["strategy", "device occupancy"],
+            rows,
+            title="Fig. 2 ablation — window strategy vs GPU occupancy",
+        )
+
+    @property
+    def collapse_ratio(self) -> float:
+        """Occupancy loss of the largest variable window vs fixed-window."""
+        worst = min(self.variable_occupancy.values())
+        return worst / max(self.fixed_occupancy, 1e-12)
+
+
+def run_window_strategy(
+    profile: ExperimentProfile | None = None,
+) -> WindowStrategyResult:
+    """Quantify the Fig. 2 occupancy argument on the GTX 470 model.
+
+    Variable-sized windows put one thread per window position; as the window
+    grows the number of positions (threads) collapses.  The fixed-window
+    pyramid keeps one thread per pixel anchor at every scale.
+    """
+    profile = profile or active_profile()
+    w, h = profile.frame_width, profile.frame_height
+    calc = OccupancyCalculator(GTX470)
+    fixed_mapping = BlockMapping(level_width=w, level_height=h)
+    fixed = calc.device_occupancy(
+        LaunchConfig(
+            grid_blocks=fixed_mapping.grid_blocks,
+            threads_per_block=fixed_mapping.threads_per_block,
+            regs_per_thread=24,
+            shared_mem_per_block=fixed_mapping.shared_tile_bytes,
+        ),
+        fixed_mapping.grid_blocks,
+    )
+    variable: dict[int, float] = {}
+    for size in (24, 96, 192, min(w, h) - 8):
+        positions = (w - size + 1) * (h - size + 1)
+        blocks = max(1, -(-positions // 256))
+        variable[size] = calc.device_occupancy(
+            LaunchConfig(grid_blocks=blocks, threads_per_block=256, regs_per_thread=24),
+            blocks,
+        )
+    return WindowStrategyResult(fixed_occupancy=fixed, variable_occupancy=variable)
+
+
+# -- integral-image paths -----------------------------------------------------
+
+
+@dataclass
+class IntegralPathResult:
+    """CPU vs modelled-GPU integral-image times per resolution."""
+    rows: list[tuple[str, float, float]] = field(default_factory=list)
+    # (resolution label, cpu_ms, gpu_ms simulated)
+
+    def format_table(self) -> str:
+        table_rows = [
+            [label, round(cpu, 3), round(gpu, 3), round(cpu / gpu, 2)]
+            for label, cpu, gpu in self.rows
+        ]
+        return format_table(
+            ["resolution", "CPU (ms)", "GPU model (ms)", "CPU/GPU"],
+            table_rows,
+            title="integral-image paths (ref [23]: GPU ~2.5x at high res)",
+        )
+
+    @property
+    def gpu_wins_at_high_resolution(self) -> bool:
+        _, cpu, gpu = self.rows[-1]
+        return gpu < cpu
+
+    @property
+    def speedup_grows_with_resolution(self) -> bool:
+        ratios = [cpu / gpu for _, cpu, gpu in self.rows]
+        return ratios[-1] > ratios[0]
+
+
+def run_integral_paths(seed: int = 0) -> IntegralPathResult:
+    """CPU wall time vs modelled GPU time for integral-image construction.
+
+    The CPU path is the cache-friendly single-pass O(n*m) reference the
+    paper's ref [23] describes; the GPU path is the scan+transpose launch
+    sequence scheduled on the GTX 470 model.
+    """
+    from repro.gpusim.scheduler import DeviceScheduler
+    from repro.image.integral import integral_image, integral_launches
+
+    rng = rng_for(seed, "integral-paths")
+    scheduler = DeviceScheduler(GTX470)
+    result = IntegralPathResult()
+    for h, w in ((90, 160), (360, 640), (1080, 1920)):
+        img = rng.uniform(0, 255, (h, w))
+        timer = WallTimer()
+        integral_image(img)  # warm the allocator
+        with timer:
+            for _ in range(3):
+                integral_image(img)
+        cpu_ms = 1e3 * timer.elapsed / 3
+        schedule = scheduler.run(integral_launches(h, w, stream=1), ExecutionMode.CONCURRENT)
+        result.rows.append((f"{w}x{h}", cpu_ms, 1e3 * schedule.makespan_s))
+    return result

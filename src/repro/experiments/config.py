@@ -1,0 +1,89 @@
+"""Experiment sizing profiles.
+
+The paper's workloads are 1080p trailers with thousands of frames; the
+default ``quick`` profile scales them down so the whole benchmark suite runs
+in minutes on one CPU core while preserving every shape criterion (the
+serial/concurrent and cascade ratios are resolution-independent; see
+EXPERIMENTS.md).  Select with the ``REPRO_PROFILE`` environment variable
+(``quick`` | ``full``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ExperimentProfile", "QUICK", "FULL", "active_profile"]
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Workload sizes for the benchmark suite."""
+
+    name: str
+    frame_width: int
+    frame_height: int
+    frames_per_trailer: int
+    fig5_frames: int
+    fig7_frames: int
+    fig8_pool_size: int
+    fig8_dataset_faces: int
+    fig9_mugshots: int
+    fig9_backgrounds: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.frame_width < 64 or self.frame_height < 64:
+            raise ConfigurationError("profile frames must be at least 64x64")
+        for field_name in (
+            "frames_per_trailer",
+            "fig5_frames",
+            "fig7_frames",
+            "fig8_pool_size",
+            "fig8_dataset_faces",
+            "fig9_mugshots",
+            "fig9_backgrounds",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ConfigurationError(f"profile {field_name} must be positive")
+
+
+QUICK = ExperimentProfile(
+    name="quick",
+    frame_width=960,
+    frame_height=540,
+    frames_per_trailer=2,
+    fig5_frames=16,
+    fig7_frames=8,
+    fig8_pool_size=12_000,
+    fig8_dataset_faces=700,
+    fig9_mugshots=60,
+    fig9_backgrounds=40,
+)
+
+FULL = ExperimentProfile(
+    name="full",
+    frame_width=1920,
+    frame_height=1080,
+    frames_per_trailer=6,
+    fig5_frames=120,
+    fig7_frames=24,
+    fig8_pool_size=103_607,
+    fig8_dataset_faces=2_000,
+    fig9_mugshots=400,
+    fig9_backgrounds=300,
+)
+
+_PROFILES = {"quick": QUICK, "full": FULL}
+
+
+def active_profile() -> ExperimentProfile:
+    """Profile selected by ``REPRO_PROFILE`` (default quick)."""
+    name = os.environ.get("REPRO_PROFILE", "quick").lower()
+    if name not in _PROFILES:
+        raise ConfigurationError(
+            f"REPRO_PROFILE={name!r} unknown; choose from {sorted(_PROFILES)}"
+        )
+    return _PROFILES[name]

@@ -1,0 +1,89 @@
+"""Fig. 7: rejection rates per cascade stage and image scale.
+
+The paper aggregates, over all frames of one trailer, the deepest stage
+reached by every window of every scale; stage 1 rejects 94.52 % of windows
+on average, stage 2 about 4 %, and the rest decay rapidly.  Shape criteria:
+a steeply decreasing rejection profile with stage 1 dominating (>= 85 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import zoo
+from repro.detect.pipeline import FaceDetectionPipeline
+from repro.experiments.config import ExperimentProfile, active_profile
+from repro.utils.tables import format_table
+from repro.video.trailer import trailer_frames
+
+__all__ = ["Fig7Result", "run_fig7"]
+
+
+@dataclass
+class Fig7Result:
+    """Aggregated depth histograms: (scales, stages + 1) window counts."""
+
+    trailer: str
+    counts: np.ndarray  # counts[s, k]: windows at scale s with depth == k
+    n_stages: int
+
+    @property
+    def rejection_rate_by_stage(self) -> np.ndarray:
+        """Fraction of ALL windows rejected at each stage (paper's metric).
+
+        Index k (0-based) = windows whose deepest stage is k, i.e. rejected
+        by stage k+1; the last entry is the accepted fraction.
+        """
+        totals = self.counts.sum()
+        return self.counts.sum(axis=0) / max(totals, 1)
+
+    def rejection_matrix(self) -> np.ndarray:
+        """Per-scale rejection fractions: (scales, stages + 1)."""
+        per_scale = self.counts.sum(axis=1, keepdims=True)
+        return self.counts / np.maximum(per_scale, 1)
+
+    @property
+    def stage1_rejection(self) -> float:
+        """Paper: 94.52 % on average."""
+        return float(self.rejection_rate_by_stage[0])
+
+    @property
+    def stage2_rejection(self) -> float:
+        """Paper: ~4 %."""
+        return float(self.rejection_rate_by_stage[1])
+
+    def format_table(self, max_stages: int = 8) -> str:
+        rates = self.rejection_rate_by_stage
+        rows = [
+            [f"stage {k + 1}", f"{100.0 * rates[k]:.4f} %"]
+            for k in range(min(max_stages, self.n_stages))
+        ]
+        rows.append(["accepted", f"{100.0 * rates[-1]:.4f} %"])
+        return format_table(
+            ["cascade stage", "rejection rate"],
+            rows,
+            title=f"Fig. 7 — rejection rates, trailer {self.trailer!r}",
+        )
+
+
+def run_fig7(
+    profile: ExperimentProfile | None = None,
+    trailer: str = "What To Expect When You're Expecting",
+    seed: int = 0,
+) -> Fig7Result:
+    """Aggregate stage-depth histograms over a trailer's frames."""
+    profile = profile or active_profile()
+    pipeline = FaceDetectionPipeline(zoo.paper_cascade(seed))
+    n_stages = pipeline.cascade.num_stages
+    counts: np.ndarray | None = None
+    for frame, _ in trailer_frames(
+        trailer, profile.frame_width, profile.frame_height, profile.fig7_frames,
+        seed=profile.seed,
+    ):
+        result = pipeline.process_frame(frame)
+        matrix = result.rejection_matrix(n_stages)
+        counts = matrix if counts is None else counts + matrix
+    assert counts is not None
+    return Fig7Result(trailer=trailer, counts=counts, n_stages=n_stages)

@@ -1,0 +1,78 @@
+"""Fig. 8: GentleBoost training scalability on two SMP platforms.
+
+One full boosting iteration (all four Haar-family loops over the whole
+feature pool) is executed for real with the chunked parallel decomposition;
+the measured chunk works are then scheduled onto the two modelled paper
+platforms (see :mod:`repro.boosting.parallel` for why the platforms are
+simulated).  Shape criteria: both curves decrease monotonically, reach
+~3.5x at 8 threads, and the i7-2600K sits ~2x below the dual Xeon E5472.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.boosting.dataset import build_training_set
+from repro.boosting.parallel import IterationTiming, ParallelTrainer, simulate_platform_curve
+from repro.experiments.config import ExperimentProfile, active_profile
+from repro.gpusim.device import XEON_HOST_DUAL_E5472, XEON_HOST_I7_2600K, HostSpec
+from repro.haar.enumeration import subsampled_feature_pool
+from repro.utils.tables import format_table
+
+__all__ = ["Fig8Result", "run_fig8"]
+
+_THREADS = (1, 2, 3, 4, 5, 6, 7, 8)
+
+
+@dataclass
+class Fig8Result:
+    """Measured iteration profile + modelled per-platform curves (seconds)."""
+
+    timing: IterationTiming
+    curves: dict[str, dict[int, float]]
+    pool_size: int
+    dataset_size: int
+
+    def speedup(self, platform: str, threads: int = 8) -> float:
+        curve = self.curves[platform]
+        return curve[1] / curve[threads]
+
+    def format_table(self) -> str:
+        platforms = list(self.curves)
+        rows = []
+        for t in _THREADS:
+            rows.append([t] + [round(self.curves[p][t], 3) for p in platforms])
+        table = format_table(
+            ["threads"] + platforms,
+            rows,
+            title=(
+                f"Fig. 8 — GentleBoost single-iteration time (s), "
+                f"{self.pool_size} features x {self.dataset_size} samples"
+            ),
+        )
+        summary = "\n" + ", ".join(
+            f"{p}: {self.speedup(p):.2f}x @ 8 threads" for p in platforms
+        )
+        return table + summary
+
+
+def run_fig8(profile: ExperimentProfile | None = None, seed: int = 0) -> Fig8Result:
+    """Measure one boosting iteration and model the Fig. 8 platforms."""
+    profile = profile or active_profile()
+    training = build_training_set(
+        profile.fig8_dataset_faces, profile.fig8_dataset_faces, seed=seed
+    )
+    pool = subsampled_feature_pool(profile.fig8_pool_size, seed=seed)
+    trainer = ParallelTrainer(training, pool, chunk_size=1024)
+    trainer.run_iteration(n_workers=1)  # warmup (allocator, BLAS init)
+    _, timing = trainer.run_iteration(n_workers=1)
+    hosts: list[HostSpec] = [XEON_HOST_I7_2600K, XEON_HOST_DUAL_E5472]
+    curves = {
+        host.name: simulate_platform_curve(timing, host, _THREADS) for host in hosts
+    }
+    return Fig8Result(
+        timing=timing,
+        curves=curves,
+        pool_size=len(pool),
+        dataset_size=training.n_samples,
+    )

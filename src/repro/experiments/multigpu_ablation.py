@@ -1,0 +1,122 @@
+"""Multi-GPU scale-parallelism ablation (Hefenbrock et al., ref [10]).
+
+Scales one frame's per-level launch groups across 1-4 modelled GTX 470s
+under both static assignments (round-robin and LPT-balanced) and compares
+against the paper's single-GPU concurrent-stream design.  Expected shape:
+speedup saturates well below linear because level work is geometrically
+skewed — the "unbalanced distribution of work" the paper cites as the
+reason to prefer concurrent kernels on one device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import zoo
+from repro.detect.kernels import cascade_eval_kernel
+from repro.detect.windows import BlockMapping
+from repro.experiments.config import ExperimentProfile, active_profile
+from repro.gpusim.kernel import KernelLaunch
+from repro.gpusim.multigpu import (
+    MultiGpuScheduler,
+    assign_levels_balanced,
+    assign_levels_round_robin,
+)
+from repro.gpusim.scheduler import ExecutionMode
+from repro.image.integral import integral_image, integral_launches, squared_integral_image
+from repro.image.pyramid import build_pyramid
+from repro.utils.tables import format_table
+from repro.video.trailer import trailer_frames
+
+__all__ = ["MultiGpuAblation", "run_multigpu_ablation"]
+
+
+@dataclass
+class MultiGpuAblation:
+    """Single-GPU vs multi-GPU frame latencies and load imbalance."""
+    single_gpu_ms: float
+    round_robin_ms: dict[int, float]
+    balanced_ms: dict[int, float]
+    imbalance: dict[int, float]  # LPT imbalance per device count
+
+    def speedup(self, devices: int) -> float:
+        return self.single_gpu_ms / self.balanced_ms[devices]
+
+    def format_table(self) -> str:
+        rows = []
+        for n in sorted(self.balanced_ms):
+            rows.append(
+                [
+                    n,
+                    round(self.round_robin_ms[n], 3),
+                    round(self.balanced_ms[n], 3),
+                    round(self.single_gpu_ms / self.balanced_ms[n], 2),
+                    round(self.imbalance[n], 2),
+                ]
+            )
+        table = format_table(
+            ["GPUs", "round-robin (ms)", "LPT (ms)", "speedup", "imbalance"],
+            rows,
+            title=(
+                "multi-GPU scale parallelism (ref [10]) vs single-GPU "
+                f"concurrent streams ({self.single_gpu_ms:.3f} ms)"
+            ),
+        )
+        return table
+
+
+def run_multigpu_ablation(
+    profile: ExperimentProfile | None = None, seed: int = 0
+) -> MultiGpuAblation:
+    """Schedule one frame's levels across 1-4 modelled GPUs."""
+    profile = profile or active_profile()
+    cascade = zoo.paper_cascade(seed)
+    frame = next(
+        iter(
+            trailer_frames(
+                "50/50", profile.frame_width, profile.frame_height, 1, seed=profile.seed
+            )
+        )
+    )[0]
+
+    level_launches: list[list[KernelLaunch]] = []
+    for level in build_pyramid(frame):
+        mapping = BlockMapping(level_width=level.width, level_height=level.height)
+        group = list(
+            integral_launches(level.height, level.width, stream=level.index + 1)
+        )
+        result = cascade_eval_kernel(
+            level.image,
+            cascade,
+            stream=level.index + 1,
+            mapping=mapping,
+            integral=integral_image(level.image),
+            squared=squared_integral_image(level.image),
+        )
+        group.append(result.launch)
+        level_launches.append(group)
+
+    frame_bytes = frame.size  # 8-bit luma upload
+    single = MultiGpuScheduler(1).run(level_launches, frame_bytes)
+    round_robin: dict[int, float] = {}
+    balanced: dict[int, float] = {}
+    imbalance: dict[int, float] = {}
+    for n in (1, 2, 3, 4):
+        sched = MultiGpuScheduler(n)
+        rr = sched.run(
+            level_launches, frame_bytes,
+            assignment=assign_levels_round_robin(len(level_launches), n),
+        )
+        costs = sched.estimate_level_costs(level_launches)
+        lpt = sched.run(
+            level_launches, frame_bytes, assignment=assign_levels_balanced(costs, n)
+        )
+        round_robin[n] = 1e3 * rr.makespan_s
+        balanced[n] = 1e3 * lpt.makespan_s
+        imbalance[n] = lpt.load_imbalance
+    return MultiGpuAblation(
+        single_gpu_ms=1e3 * single.makespan_s,
+        round_robin_ms=round_robin,
+        balanced_ms=balanced,
+        imbalance=imbalance,
+    )

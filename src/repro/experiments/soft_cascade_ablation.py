@@ -1,0 +1,139 @@
+"""Soft-cascade ablation (Section VII future work).
+
+Compares the staged 1446-classifier cascade against its soft-cascade
+calibration on trailer frames: average weak classifiers evaluated per
+window, simulated kernel time, and detection agreement.  Expected shape
+(Bourdev & Brandt): the soft cascade evaluates fewer classifiers per window
+for equal-or-better recall because rejection can happen after *any*
+classifier instead of only at stage boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import zoo
+from repro.boosting.soft_cascade import SoftCascade, calibrate_soft_cascade
+from repro.data.faces import render_training_chip
+from repro.detect.kernels import cascade_eval_kernel
+from repro.detect.soft_kernel import soft_cascade_eval_kernel
+from repro.detect.windows import BlockMapping
+from repro.experiments.config import ExperimentProfile, active_profile
+from repro.gpusim.device import GTX470
+from repro.gpusim.scheduler import DeviceScheduler, ExecutionMode
+from repro.image.pyramid import build_pyramid
+from repro.utils.artifacts import artifact_dir
+from repro.utils.rng import rng_for
+from repro.utils.tables import format_table
+from repro.video.trailer import trailer_frames
+
+__all__ = ["SoftCascadeAblation", "run_soft_cascade_ablation", "soft_paper_cascade"]
+
+
+def soft_paper_cascade(seed: int = 0, miss_budget: float = 0.03) -> SoftCascade:
+    """The paper cascade flattened + calibrated as a soft cascade (cached)."""
+    from repro.errors import CascadeFormatError
+
+    path = artifact_dir() / f"paper-soft-{seed}-{miss_budget}.softcascade.json"
+    if path.exists():
+        try:
+            return SoftCascade.load(path)
+        except CascadeFormatError:
+            path.unlink()
+    cascade = zoo.paper_cascade(seed)
+    rng = rng_for(seed, "soft-calibration")
+    faces = np.stack([render_training_chip(rng, 24) for _ in range(400)])
+    soft = calibrate_soft_cascade(cascade, faces, miss_budget=miss_budget)
+    soft.save(path)
+    return soft
+
+
+@dataclass
+class SoftCascadeAblation:
+    """Per-level comparison of staged vs soft evaluation."""
+
+    staged_classifiers_per_window: float
+    soft_classifiers_per_window: float
+    staged_time_ms: float
+    soft_time_ms: float
+    acceptance_agreement: float  # fraction of anchors with same accept verdict
+
+    @property
+    def work_reduction(self) -> float:
+        """Relative reduction in classifiers evaluated per window."""
+        return 1.0 - self.soft_classifiers_per_window / self.staged_classifiers_per_window
+
+    def format_table(self) -> str:
+        rows = [
+            ["classifiers / window", round(self.staged_classifiers_per_window, 3),
+             round(self.soft_classifiers_per_window, 3)],
+            ["simulated kernel time (ms)", round(self.staged_time_ms, 3),
+             round(self.soft_time_ms, 3)],
+        ]
+        table = format_table(
+            ["metric", "staged cascade", "soft cascade"],
+            rows,
+            title="soft-cascade ablation (paper future work, ref [32])",
+        )
+        return (
+            table
+            + f"\nwork reduction {100 * self.work_reduction:.1f} %, "
+            + f"acceptance agreement {100 * self.acceptance_agreement:.2f} %"
+        )
+
+
+def run_soft_cascade_ablation(
+    profile: ExperimentProfile | None = None, seed: int = 0
+) -> SoftCascadeAblation:
+    """Compare staged vs soft evaluation on one trailer frame's pyramid."""
+    profile = profile or active_profile()
+    cascade_staged = zoo.paper_cascade(seed)
+    soft = soft_paper_cascade(seed)
+    sizes = np.array([len(s) for s in cascade_staged.stages])
+    cum = np.concatenate([[0], np.cumsum(sizes)])
+
+    frame = next(
+        iter(
+            trailer_frames(
+                "50/50", profile.frame_width, profile.frame_height, 1, seed=profile.seed
+            )
+        )
+    )[0]
+    scheduler = DeviceScheduler(GTX470)
+    staged_launches = []
+    soft_launches = []
+    staged_work = []
+    soft_work = []
+    agree = []
+    for level in build_pyramid(frame):
+        mapping = BlockMapping(level_width=level.width, level_height=level.height)
+        staged = cascade_eval_kernel(
+            level.image, cascade_staged, stream=level.index + 1, mapping=mapping
+        )
+        softr = soft_cascade_eval_kernel(
+            level.image, soft, stream=level.index + 1, mapping=mapping
+        )
+        staged_launches.append(staged.launch)
+        soft_launches.append(softr.launch)
+        # staged cascade evaluates whole stages: classifiers used per anchor
+        depth = staged.depth_map
+        executed = cum[np.minimum(depth + 1, cascade_staged.num_stages)]
+        staged_work.append(executed.mean())
+        soft_work.append(softr.mean_classifiers_per_window)
+        agree.append(
+            np.mean(
+                (depth == cascade_staged.num_stages)
+                == (softr.exit_map == soft.length)
+            )
+        )
+    staged_time = scheduler.run(staged_launches, ExecutionMode.CONCURRENT).makespan_s
+    soft_time = scheduler.run(soft_launches, ExecutionMode.CONCURRENT).makespan_s
+    return SoftCascadeAblation(
+        staged_classifiers_per_window=float(np.mean(staged_work)),
+        soft_classifiers_per_window=float(np.mean(soft_work)),
+        staged_time_ms=1e3 * staged_time,
+        soft_time_ms=1e3 * soft_time,
+        acceptance_agreement=float(np.mean(agree)),
+    )

@@ -1,0 +1,43 @@
+"""Table I: possible Haar-like feature combinations (24x24 pixels)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.haar.enumeration import TABLE1_EXPECTED, table1_counts
+from repro.utils.tables import format_table
+
+__all__ = ["Table1Result", "run_table1"]
+
+
+@dataclass
+class Table1Result:
+    """Measured vs published feature-combination counts."""
+
+    counts: dict[str, int]
+    expected: dict[str, int]
+
+    @property
+    def matches_paper(self) -> bool:
+        return self.counts == self.expected
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def format_table(self) -> str:
+        rows = [
+            [family.replace("_", "-"), self.counts[family], self.expected[family]]
+            for family in self.expected
+        ]
+        rows.append(["TOTAL", self.total, sum(self.expected.values())])
+        return format_table(
+            ["Haar-like Feature", "Combinations", "Paper"],
+            rows,
+            title="Table I — possible Haar-like feature combinations (24x24)",
+        )
+
+
+def run_table1() -> Table1Result:
+    """Enumerate the feature families and compare against Table I."""
+    return Table1Result(counts=table1_counts(), expected=dict(TABLE1_EXPECTED))

@@ -1,0 +1,121 @@
+"""Table II: average face-detection time per frame (milliseconds).
+
+Ten synthetic trailers x {our cascade, OpenCV cascade} x {concurrent,
+serial}.  Shape criteria from the paper: concurrent roughly halves serial
+for both cascades; the 1446-classifier cascade is roughly 2.5x faster than
+the 2913-classifier baseline; combined ~5x between (ours, concurrent) and
+(OpenCV, serial).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import zoo
+from repro.detect.pipeline import FaceDetectionPipeline
+from repro.experiments.config import ExperimentProfile, active_profile
+from repro.gpusim.scheduler import ExecutionMode
+from repro.utils.tables import format_table
+from repro.video.trailer import TRAILERS, trailer_frames
+
+__all__ = ["Table2Row", "Table2Result", "run_table2"]
+
+_MODES = [ExecutionMode.CONCURRENT, ExecutionMode.SERIAL]
+
+
+@dataclass
+class Table2Row:
+    """Average per-frame detection milliseconds for one trailer."""
+
+    trailer: str
+    ours_concurrent: float
+    ours_serial: float
+    opencv_concurrent: float
+    opencv_serial: float
+
+
+@dataclass
+class Table2Result:
+    """All Table II rows plus the paper's aggregate speedup factors."""
+    rows: list[Table2Row] = field(default_factory=list)
+
+    def _mean(self, attr: str) -> float:
+        return float(np.mean([getattr(r, attr) for r in self.rows]))
+
+    @property
+    def concurrency_speedup_ours(self) -> float:
+        return self._mean("ours_serial") / self._mean("ours_concurrent")
+
+    @property
+    def concurrency_speedup_opencv(self) -> float:
+        return self._mean("opencv_serial") / self._mean("opencv_concurrent")
+
+    @property
+    def cascade_speedup_concurrent(self) -> float:
+        return self._mean("opencv_concurrent") / self._mean("ours_concurrent")
+
+    @property
+    def combined_speedup(self) -> float:
+        """(OpenCV, serial) over (ours, concurrent) — the paper's 5x."""
+        return self._mean("opencv_serial") / self._mean("ours_concurrent")
+
+    def format_table(self) -> str:
+        rows = [
+            [
+                r.trailer,
+                round(r.ours_concurrent, 2),
+                round(r.ours_serial, 2),
+                round(r.opencv_concurrent, 2),
+                round(r.opencv_serial, 2),
+            ]
+            for r in self.rows
+        ]
+        table = format_table(
+            ["Movie Trailer", "Ours conc", "Ours serial", "OpenCV conc", "OpenCV serial"],
+            rows,
+            title="Table II — average face detection time per frame (ms)",
+        )
+        summary = (
+            f"\nconcurrency speedup: ours {self.concurrency_speedup_ours:.2f}x, "
+            f"OpenCV {self.concurrency_speedup_opencv:.2f}x\n"
+            f"cascade speedup (concurrent): {self.cascade_speedup_concurrent:.2f}x\n"
+            f"combined speedup: {self.combined_speedup:.2f}x"
+        )
+        return table + summary
+
+
+def run_table2(
+    profile: ExperimentProfile | None = None, seed: int = 0
+) -> Table2Result:
+    """Regenerate Table II on the active profile's trailer workload."""
+    profile = profile or active_profile()
+    pipelines = {
+        "ours": FaceDetectionPipeline(zoo.paper_cascade(seed)),
+        "opencv": FaceDetectionPipeline(zoo.opencv_like_cascade(seed)),
+    }
+    result = Table2Result()
+    for spec in TRAILERS:
+        times: dict[tuple[str, ExecutionMode], list[float]] = {
+            (name, mode): [] for name in pipelines for mode in _MODES
+        }
+        for frame, _ in trailer_frames(
+            spec, profile.frame_width, profile.frame_height,
+            profile.frames_per_trailer, seed=profile.seed,
+        ):
+            for name, pipeline in pipelines.items():
+                by_mode = pipeline.schedule_modes(frame, _MODES)
+                for mode in _MODES:
+                    times[(name, mode)].append(by_mode[mode].detection_time_s)
+        result.rows.append(
+            Table2Row(
+                trailer=spec.name,
+                ours_concurrent=1e3 * float(np.mean(times[("ours", ExecutionMode.CONCURRENT)])),
+                ours_serial=1e3 * float(np.mean(times[("ours", ExecutionMode.SERIAL)])),
+                opencv_concurrent=1e3
+                * float(np.mean(times[("opencv", ExecutionMode.CONCURRENT)])),
+                opencv_serial=1e3 * float(np.mean(times[("opencv", ExecutionMode.SERIAL)])),
+            )
+        )
+    return result

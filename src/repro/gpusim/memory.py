@@ -1,0 +1,149 @@
+"""GPU memory-traffic models: coalescing, constant broadcast, banks.
+
+These helpers are used by the *functional* layer when it converts an access
+pattern into :class:`~repro.gpusim.kernel.BlockWork` byte counts, and by
+:class:`ConstantMemory`, which enforces the 64 KiB limit the paper's 16-bit
+feature encoding (Section III-C) exists to fit under.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MemoryModelError
+from repro.gpusim.device import DeviceSpec
+
+__all__ = [
+    "coalesced_bytes",
+    "strided_transactions",
+    "constant_broadcast_requests",
+    "shared_bank_conflict_factor",
+    "ConstantMemory",
+]
+
+
+def coalesced_bytes(
+    threads: int,
+    bytes_per_thread: int,
+    *,
+    transaction_bytes: int = 128,
+    contiguous: bool = True,
+) -> int:
+    """DRAM bytes moved by ``threads`` each reading ``bytes_per_thread``.
+
+    Contiguous warp accesses coalesce into whole transactions; scattered
+    accesses pay one transaction per thread (the worst case the paper's
+    Eq. 1-4 staging pattern avoids).
+    """
+    if threads < 0 or bytes_per_thread < 0:
+        raise MemoryModelError("threads and bytes_per_thread must be non-negative")
+    useful = threads * bytes_per_thread
+    if useful == 0:
+        return 0
+    if contiguous:
+        transactions = -(-useful // transaction_bytes)
+    else:
+        transactions = threads * -(-bytes_per_thread // transaction_bytes)
+    return transactions * transaction_bytes
+
+
+def strided_transactions(
+    warp_size: int, element_bytes: int, stride_elements: int, *, transaction_bytes: int = 128
+) -> int:
+    """Transactions issued by one warp reading with a fixed element stride.
+
+    ``stride_elements == 1`` is the fully-coalesced case; large strides
+    degenerate to one transaction per lane (e.g. a naive column-major matrix
+    transpose, which the tiled shared-memory transpose kernel avoids).
+    """
+    if warp_size <= 0 or element_bytes <= 0 or stride_elements <= 0:
+        raise MemoryModelError("warp_size, element_bytes, stride_elements must be positive")
+    span = ((warp_size - 1) * stride_elements + 1) * element_bytes
+    touched = -(-span // transaction_bytes)
+    return min(touched, warp_size)
+
+
+def constant_broadcast_requests(warp_lanes_same_address: bool, accesses: int) -> int:
+    """Constant-cache requests for ``accesses`` warp reads.
+
+    Constant memory broadcasts a value to all lanes in one request when every
+    lane reads the same address — the property Section III-C relies on when
+    all warp threads walk the cascade in lockstep.  Divergent addresses
+    serialise into one request per distinct address (modelled as the worst
+    case, one per lane group of 1).
+    """
+    if accesses < 0:
+        raise MemoryModelError("accesses must be non-negative")
+    return accesses if warp_lanes_same_address else accesses * 32
+
+
+def shared_bank_conflict_factor(stride_words: int, banks: int = 32) -> int:
+    """Serialisation factor of a shared-memory access with word stride.
+
+    A stride sharing a common factor ``g`` with the bank count hits
+    ``banks/ (banks/g)`` ... concretely the factor is ``gcd``-based:
+    stride 1 -> 1 (conflict-free), stride 32 -> 32 (fully serialised), the
+    classic reason transpose tiles are padded to 33 words.
+    """
+    if stride_words <= 0 or banks <= 0:
+        raise MemoryModelError("stride_words and banks must be positive")
+    g = np.gcd(stride_words, banks)
+    return int(banks // (banks // g)) if g else 1
+
+
+@dataclass
+class _Segment:
+    offset: int
+    nbytes: int
+    label: str
+
+
+class ConstantMemory:
+    """A 64 KiB constant-memory arena with bump allocation.
+
+    The cascade-evaluation kernel stores every Haar feature here
+    (Section III-C); :meth:`upload` raises :class:`MemoryModelError` when a
+    cascade does not fit, which is exactly the pressure motivating the
+    paper's packed 16-bit feature encoding.
+    """
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self._capacity = device.constant_mem_bytes
+        self._segments: list[_Segment] = []
+        self._used = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def free(self) -> int:
+        return self._capacity - self._used
+
+    def upload(self, data: np.ndarray, label: str = "") -> int:
+        """Reserve space for ``data``; returns the segment offset."""
+        nbytes = int(data.nbytes)
+        if nbytes > self.free:
+            raise MemoryModelError(
+                f"constant memory overflow: uploading {nbytes} B ({label or 'unnamed'}) "
+                f"with only {self.free} B free of {self._capacity} B"
+            )
+        offset = self._used
+        self._segments.append(_Segment(offset=offset, nbytes=nbytes, label=label))
+        self._used += nbytes
+        return offset
+
+    def reset(self) -> None:
+        """Free all segments (new frame / new cascade)."""
+        self._segments.clear()
+        self._used = 0
+
+    def segments(self) -> list[tuple[str, int, int]]:
+        """Return ``(label, offset, nbytes)`` for each live segment."""
+        return [(s.label, s.offset, s.nbytes) for s in self._segments]

@@ -1,0 +1,137 @@
+"""Multi-GPU scale parallelism (Hefenbrock et al., ref [10]).
+
+Section II describes the related-work alternative of computing "each window
+scale ... in parallel in a different GPU" and notes that all such static
+partitionings "suffer from unbalanced distribution of work".  This module
+models that design: pyramid levels are assigned to devices, each device
+schedules its launches independently, and the frame completes when the last
+device drains (plus a per-device host-transfer cost for shipping the frame
+over PCIe).
+
+The imbalance is structural: pyramid level areas fall geometrically
+(~1/1.44 per level), so whichever device owns scale 0 dominates the
+makespan — exactly the observation that motivates the paper's single-GPU
+concurrent-stream design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import DeviceSpec, GTX470
+from repro.gpusim.kernel import KernelLaunch
+from repro.gpusim.scheduler import DeviceScheduler, ExecutionMode, ScheduleResult
+
+__all__ = ["MultiGpuResult", "MultiGpuScheduler", "assign_levels_round_robin", "assign_levels_balanced"]
+
+#: PCIe gen2 x16 effective host->device bandwidth (bytes/s)
+_PCIE_BANDWIDTH = 5.2e9
+#: fixed per-transfer latency (pinned-memory DMA setup)
+_PCIE_LATENCY_S = 12e-6
+
+
+def assign_levels_round_robin(n_levels: int, n_devices: int) -> list[int]:
+    """Static level->device map, round-robin (Hefenbrock's scheme)."""
+    if n_levels <= 0 or n_devices <= 0:
+        raise ConfigurationError("levels and devices must be positive")
+    return [i % n_devices for i in range(n_levels)]
+
+
+def assign_levels_balanced(level_costs: list[float], n_devices: int) -> list[int]:
+    """Greedy LPT assignment using known per-level costs (the best static map)."""
+    if n_devices <= 0:
+        raise ConfigurationError("devices must be positive")
+    loads = [0.0] * n_devices
+    assignment = [0] * len(level_costs)
+    for idx in sorted(range(len(level_costs)), key=lambda i: -level_costs[i]):
+        dev = loads.index(min(loads))
+        assignment[idx] = dev
+        loads[dev] += level_costs[idx]
+    return assignment
+
+
+@dataclass
+class MultiGpuResult:
+    """Outcome of a multi-GPU frame schedule."""
+
+    per_device: list[ScheduleResult]
+    transfer_s: float
+    assignment: list[int]
+
+    @property
+    def makespan_s(self) -> float:
+        """Frame latency: slowest device plus the broadcast transfer."""
+        busiest = max((r.makespan_s for r in self.per_device if r.timeline.traces), default=0.0)
+        return self.transfer_s + busiest
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max over mean device busy time (1.0 = perfectly balanced)."""
+        times = [r.makespan_s for r in self.per_device if r.timeline.traces]
+        if not times:
+            return 1.0
+        mean = sum(times) / len(times)
+        return max(times) / mean if mean > 0 else 1.0
+
+
+class MultiGpuScheduler:
+    """Schedules per-level launch groups across several identical devices."""
+
+    def __init__(self, n_devices: int, device: DeviceSpec = GTX470) -> None:
+        if n_devices <= 0:
+            raise ConfigurationError("n_devices must be positive")
+        self._n = n_devices
+        self._device = device
+        self._schedulers = [DeviceScheduler(device) for _ in range(n_devices)]
+        self._cost_model = CostModel(device)
+
+    @property
+    def n_devices(self) -> int:
+        return self._n
+
+    def run(
+        self,
+        level_launches: list[list[KernelLaunch]],
+        frame_bytes: int,
+        assignment: list[int] | None = None,
+        mode: ExecutionMode = ExecutionMode.CONCURRENT,
+    ) -> MultiGpuResult:
+        """Schedule per-level launch groups onto the devices.
+
+        ``frame_bytes`` is broadcast to every participating device before
+        any kernel can start (each GPU needs the decoded frame).
+        """
+        if assignment is None:
+            assignment = assign_levels_round_robin(len(level_launches), self._n)
+        if len(assignment) != len(level_launches):
+            raise ConfigurationError("assignment length must match level count")
+        if any(not (0 <= a < self._n) for a in assignment):
+            raise ConfigurationError("assignment references an unknown device")
+        transfer = _PCIE_LATENCY_S + frame_bytes / _PCIE_BANDWIDTH
+
+        per_device: list[ScheduleResult] = []
+        for dev in range(self._n):
+            launches = [
+                launch
+                for level, group in enumerate(level_launches)
+                if assignment[level] == dev
+                for launch in group
+            ]
+            per_device.append(self._schedulers[dev].run(launches, mode))
+        return MultiGpuResult(
+            per_device=per_device, transfer_s=transfer, assignment=list(assignment)
+        )
+
+    def estimate_level_costs(self, level_launches: list[list[KernelLaunch]]) -> list[float]:
+        """Per-level base work (seconds) for balanced assignment."""
+        costs = []
+        for group in level_launches:
+            total = 0.0
+            for launch in group:
+                total += float(
+                    self._cost_model.block_base_seconds(launch.config, launch.work).sum()
+                )
+            costs.append(total)
+        return costs

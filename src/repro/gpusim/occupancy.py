@@ -1,0 +1,86 @@
+"""CUDA occupancy calculation for the simulated device.
+
+Residency per SM is the minimum over the four classic limits (block slots,
+warp slots, shared memory, register file); the scheduler uses it to decide
+how many blocks of a kernel may co-reside on an SM, and the paper's
+low-occupancy argument (Fig. 2, Section III) is read off
+:attr:`OccupancyResult.occupancy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LaunchError
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.kernel import LaunchConfig
+
+__all__ = ["OccupancyResult", "OccupancyCalculator"]
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Residency of one kernel configuration on one SM."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    limiting_factor: str
+
+    def occupancy_of(self, device: DeviceSpec) -> float:
+        """Theoretical occupancy: resident warps over the SM warp limit."""
+        return self.warps_per_sm / device.max_warps_per_sm
+
+
+class OccupancyCalculator:
+    """Computes block residency for kernel launches on a device."""
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self._device = device
+
+    def residency(self, config: LaunchConfig) -> OccupancyResult:
+        """Return the per-SM residency for ``config``.
+
+        Raises :class:`LaunchError` if the block cannot run at all (zero
+        residency), mirroring a CUDA launch failure.
+        """
+        device = self._device
+        config.validate(device)
+        warps = config.warps_per_block
+
+        limits = {
+            "blocks": device.max_blocks_per_sm,
+            "warps": device.max_warps_per_sm // warps,
+        }
+        if config.shared_mem_per_block > 0:
+            limits["shared_memory"] = device.shared_mem_per_sm // config.shared_mem_per_block
+        regs_per_block = config.regs_per_thread * config.threads_per_block
+        if regs_per_block > 0:
+            limits["registers"] = device.registers_per_sm // regs_per_block
+
+        factor = min(limits, key=lambda k: limits[k])
+        blocks = limits[factor]
+        if blocks < 1:
+            raise LaunchError(
+                f"kernel cannot be resident on {device.name}: limited by {factor}"
+            )
+        return OccupancyResult(
+            blocks_per_sm=blocks,
+            warps_per_sm=blocks * warps,
+            limiting_factor=factor,
+        )
+
+    def device_occupancy(self, config: LaunchConfig, grid_blocks: int) -> float:
+        """Achieved device occupancy for a whole grid.
+
+        The paper's Fig. 2 point: a variable-size-window strategy leaves the
+        grid with too few blocks to cover the device, so occupancy collapses.
+        This reports resident warps across the device (capped by grid size)
+        over the device warp capacity.
+        """
+        if grid_blocks <= 0:
+            raise LaunchError("grid_blocks must be positive")
+        res = self.residency(config)
+        device = self._device
+        resident_blocks = min(grid_blocks, res.blocks_per_sm * device.sm_count)
+        resident_warps = resident_blocks * config.warps_per_block
+        return resident_warps / (device.max_warps_per_sm * device.sm_count)

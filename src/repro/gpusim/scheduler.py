@@ -1,0 +1,457 @@
+"""Event-driven device scheduler with concurrent kernel execution.
+
+This is the component that reproduces the paper's headline mechanism.  Thread
+blocks are placed onto SM residency slots; launches in one CUDA stream
+execute back-to-back while launches in different streams may co-schedule.
+
+Two effects make serial execution slow for the face-detection pyramid, both
+modelled here rather than hard-coded:
+
+* **device under-coverage** — a small-scale kernel has fewer blocks than the
+  GPU has SMs, so most SMs idle until the kernel drains;
+* **residency derating** — a block running with few co-resident warps cannot
+  hide pipeline/DRAM latency, so its effective duration grows by up to
+  ``1 / DeviceSpec.min_efficiency``; co-resident blocks processor-share the
+  SM's issue bandwidth, so throughput never exceeds the cost model's peak.
+
+In concurrent mode blocks from other streams fill both gaps, which is
+precisely Section III-A's argument and the behaviour visible in Fig. 6.
+
+Implementation notes: the event loop is O(events) with dispatch targeted at
+the SM a finishing group frees; *sentinel* events mark the instants launches
+become runnable (issue time or stream-predecessor completion + sync), and a
+bulk fast path schedules long uniform single-kernel phases analytically so
+grids with tens of thousands of blocks cost a handful of events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import LaunchError
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.kernel import KernelLaunch
+from repro.gpusim.occupancy import OccupancyCalculator
+from repro.gpusim.trace import KernelTrace, Timeline
+
+__all__ = ["ExecutionMode", "ScheduleResult", "DeviceScheduler"]
+
+#: sentinel SM index marking a "launch became runnable" timer event
+_TIMER = -1
+
+
+class ExecutionMode(Enum):
+    """Kernel issue policy (the paper's serial vs. concurrent comparison)."""
+
+    SERIAL = "serial"
+    CONCURRENT = "concurrent"
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling a batch of launches."""
+
+    timeline: Timeline
+    makespan_s: float
+    mode: ExecutionMode
+    total: PerfCounters
+    warp_seconds: float
+    device_warp_capacity: float
+
+    @property
+    def utilization(self) -> float:
+        """Resident-warp utilisation of the device over the makespan."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.warp_seconds / (self.device_warp_capacity * self.makespan_s)
+
+
+@dataclass
+class _LaunchState:
+    launch: KernelLaunch
+    index: int
+    residency_blocks: int
+    warps_per_block: int
+    smem_per_block: int
+    cohorts: list[list[float]]  # mutable [remaining_count, base_seconds]
+    cohort_ptr: int = 0
+    blocks_total: int = 0
+    blocks_done: int = 0
+    runnable_at: float = math.inf
+    first_dispatch: float = math.inf
+    finished_at: float = math.inf
+    dispatched: int = 0
+    waiting_on: set[int] = None  # launch indices that must finish first
+
+    def __post_init__(self) -> None:
+        if self.waiting_on is None:
+            self.waiting_on = set()
+
+    @property
+    def blocks_left_to_dispatch(self) -> int:
+        return self.blocks_total - self.dispatched
+
+    def peek_cohort(self) -> list[float] | None:
+        while self.cohort_ptr < len(self.cohorts):
+            cohort = self.cohorts[self.cohort_ptr]
+            if cohort[0] > 0:
+                return cohort
+            self.cohort_ptr += 1
+        return None
+
+
+@dataclass
+class _SM:
+    blocks: int = 0
+    warps: int = 0
+    smem: int = 0
+    resident: dict[int, int] = None  # launch index -> resident block count
+
+    def __post_init__(self) -> None:
+        if self.resident is None:
+            self.resident = {}
+
+
+class DeviceScheduler:
+    """Schedules kernel launches onto a simulated device."""
+
+    def __init__(self, device: DeviceSpec, cost_model: CostModel | None = None) -> None:
+        self._device = device
+        self._cost_model = cost_model or CostModel(device)
+        self._occupancy = OccupancyCalculator(device)
+
+    @property
+    def device(self) -> DeviceSpec:
+        return self._device
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self._cost_model
+
+    def _efficiency(self, resident_warps: int) -> float:
+        d = self._device
+        frac = min(1.0, resident_warps / d.saturation_warps)
+        return d.min_efficiency + (1.0 - d.min_efficiency) * frac
+
+    def run(
+        self,
+        launches: list[KernelLaunch],
+        mode: ExecutionMode = ExecutionMode.CONCURRENT,
+        start_time: float = 0.0,
+    ) -> ScheduleResult:
+        """Execute ``launches`` (in issue order) and return the schedule.
+
+        In :attr:`ExecutionMode.SERIAL` all launches are forced into stream 0
+        regardless of their requested stream, exactly like the paper's
+        baseline configuration.
+        """
+        device = self._device
+        if not launches:
+            return ScheduleResult(
+                timeline=Timeline(),
+                makespan_s=0.0,
+                mode=mode,
+                total=PerfCounters(),
+                warp_seconds=0.0,
+                device_warp_capacity=device.sm_count * device.max_warps_per_sm,
+            )
+
+        states = self._prepare_states(launches)
+        streams: dict[int, list[_LaunchState]] = {}
+        for st in states:
+            stream = 0 if mode is ExecutionMode.SERIAL else st.launch.stream
+            streams.setdefault(stream, []).append(st)
+        stream_pos = {sid: 0 for sid in streams}
+
+        # cross-stream waits (cudaStreamWaitEvent at issue): block on every
+        # launch issued earlier into the watched streams.  In serial mode
+        # stream order already implies them.
+        dependents: dict[int, list[_LaunchState]] = {}
+        if mode is not ExecutionMode.SERIAL:
+            for st in states:
+                for watched in st.launch.wait_streams:
+                    for other in streams.get(watched, ()):
+                        if other.index < st.index:
+                            st.waiting_on.add(other.index)
+                            dependents.setdefault(other.index, []).append(st)
+
+        sms = [_SM() for _ in range(device.sm_count)]
+        # heap entries: (time, seq, sm_idx, launch_idx, blocks, warps, smem);
+        # sm_idx == _TIMER marks a runnable-at sentinel
+        heap: list[tuple[float, int, int, int, int, int, int]] = []
+        seq = 0
+        now = start_time
+        warp_seconds = 0.0
+        rr_cursor = 0
+        groups_in_flight = 0
+        runnable: list[_LaunchState] = []
+
+        max_blocks_sm = device.max_blocks_per_sm
+        max_warps_sm = device.max_warps_per_sm
+        smem_sm = device.shared_mem_per_sm
+
+        def push_sentinel(st: _LaunchState) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (st.runnable_at, seq, _TIMER, st.index, 0, 0, 0))
+            seq += 1
+
+        for queue in streams.values():
+            queue[0].runnable_at = self._issue_time(queue[0], start_time)
+            push_sentinel(queue[0])
+
+        def refresh_runnable() -> None:
+            runnable.clear()
+            for sid, queue in streams.items():
+                pos = stream_pos[sid]
+                if pos < len(queue):
+                    head = queue[pos]
+                    if (
+                        head.runnable_at <= now
+                        and head.blocks_left_to_dispatch > 0
+                        and not head.waiting_on
+                    ):
+                        runnable.append(head)
+            runnable.sort(key=lambda s: s.index)
+
+        def place_one(sm: _SM, sm_idx: int) -> bool:
+            """Place one cohort group of some runnable launch on this SM."""
+            nonlocal rr_cursor, seq, warp_seconds, groups_in_flight
+            n = len(runnable)
+            for offset in range(n):
+                pick = (rr_cursor + offset) % n
+                st = runnable[pick]
+                cohort = st.peek_cohort()
+                if cohort is None:
+                    continue
+                cap = st.residency_blocks
+                if max_blocks_sm < cap:
+                    cap = max_blocks_sm
+                cap -= sm.blocks
+                wcap = (max_warps_sm - sm.warps) // st.warps_per_block
+                if wcap < cap:
+                    cap = wcap
+                if st.smem_per_block > 0:
+                    scap = (smem_sm - sm.smem) // st.smem_per_block
+                    if scap < cap:
+                        cap = scap
+                if cap <= 0:
+                    continue
+                count = cap if cap < cohort[0] else int(cohort[0])
+                # Load balance: spread a small cohort across SMs instead of
+                # stacking it onto one (processor sharing would serialise a
+                # stack of heavy blocks and stretch the kernel's drain tail).
+                spread = -(-int(cohort[0]) // len(sms))
+                if spread < count:
+                    count = spread
+                cohort[0] -= count
+                sm.blocks += count
+                warps = count * st.warps_per_block
+                sm.warps += warps
+                sm.smem += count * st.smem_per_block
+                sm.resident[st.index] = sm.resident.get(st.index, 0) + count
+                st.dispatched += count
+                # Processor-sharing within the SM: resident blocks split the
+                # SM's issue bandwidth; residency-dependent efficiency scales
+                # it (a lone 2-warp block runs at ~min_efficiency), and a
+                # single-kernel SM is further capped by phase correlation.
+                eff = self._efficiency(sm.warps)
+                if len(sm.resident) <= 1:
+                    eff *= self._device.single_kernel_efficiency
+                duration = cohort[1] * sm.blocks / eff
+                finish = now + duration
+                warp_seconds += warps * duration
+                heapq.heappush(
+                    heap,
+                    (finish, seq, sm_idx, st.index, count, warps, count * st.smem_per_block),
+                )
+                seq += 1
+                groups_in_flight += 1
+                rr_cursor = pick + 1
+                if st.first_dispatch > now:
+                    st.first_dispatch = now
+                if st.blocks_left_to_dispatch == 0:
+                    refresh_runnable()
+                return True
+            return False
+
+        def fill_sm(sm_idx: int) -> None:
+            sm = sms[sm_idx]
+            while runnable and place_one(sm, sm_idx):
+                pass
+
+        def full_dispatch() -> None:
+            nonlocal now, warp_seconds
+            refresh_runnable()
+            # Bulk fast path: a lone launch on an idle device advances whole
+            # uniform waves analytically (capped at the next sentinel time).
+            if len(runnable) == 1 and groups_in_flight == 0:
+                st = runnable[0]
+                cohort = st.peek_cohort()
+                if cohort is not None:
+                    horizon = heap[0][0] if heap else math.inf
+                    now, warp_seconds = self._bulk_waves(
+                        st, cohort, now, warp_seconds, horizon
+                    )
+                    if st.blocks_done == st.blocks_total:
+                        finish_launch(st)
+                        refresh_runnable()
+            progress = True
+            while progress and runnable:
+                progress = False
+                order = sorted(range(len(sms)), key=lambda i: sms[i].warps)
+                for i in order:
+                    if place_one(sms[i], i):
+                        progress = True
+
+        def finish_launch(st: _LaunchState) -> None:
+            st.finished_at = now
+            for waiter in dependents.get(st.index, ()):
+                waiter.waiting_on.discard(st.index)
+                if not waiter.waiting_on:
+                    waiter.runnable_at = max(
+                        waiter.runnable_at
+                        if math.isfinite(waiter.runnable_at)
+                        else -math.inf,
+                        now + self._device.kernel_sync_overhead_s,
+                    )
+                    push_sentinel(waiter)
+            for sid, queue in streams.items():
+                pos = stream_pos[sid]
+                if pos < len(queue) and queue[pos] is st:
+                    stream_pos[sid] = pos + 1
+                    if pos + 1 < len(queue):
+                        nxt = queue[pos + 1]
+                        nxt.runnable_at = max(
+                            self._issue_time(nxt, start_time),
+                            now + self._device.kernel_sync_overhead_s,
+                        )
+                        push_sentinel(nxt)
+                    return
+
+        while heap:
+            time, _, sm_idx, launch_idx, count, warps, smem = heapq.heappop(heap)
+            now = time
+            if sm_idx == _TIMER:
+                full_dispatch()
+                continue
+            sm = sms[sm_idx]
+            sm.blocks -= count
+            sm.warps -= warps
+            sm.smem -= smem
+            left = sm.resident.get(launch_idx, 0) - count
+            if left > 0:
+                sm.resident[launch_idx] = left
+            else:
+                sm.resident.pop(launch_idx, None)
+            groups_in_flight -= 1
+            st = states[launch_idx]
+            st.blocks_done += count
+            if st.blocks_done == st.blocks_total:
+                finish_launch(st)
+                full_dispatch()
+            else:
+                fill_sm(sm_idx)
+                if groups_in_flight == 0:
+                    # the device drained mid-launch (e.g. cohort exhausted by
+                    # the residency cap): restart via the full path
+                    full_dispatch()
+
+        unfinished = [st.launch.name for st in states if st.blocks_done != st.blocks_total]
+        if unfinished:
+            raise LaunchError(f"scheduler deadlock: launches never completed: {unfinished}")
+
+        timeline = Timeline()
+        for st in states:
+            counters = st.launch.work.totals(st.warps_per_block)
+            timeline.add(
+                KernelTrace(
+                    name=st.launch.name,
+                    stream=0 if mode is ExecutionMode.SERIAL else st.launch.stream,
+                    issue_s=self._issue_time(st, start_time),
+                    start_s=st.first_dispatch,
+                    end_s=st.finished_at,
+                    blocks=st.blocks_total,
+                    counters=counters,
+                    tag=st.launch.tag,
+                )
+            )
+        total = PerfCounters()
+        for trace in timeline.traces:
+            total.add(trace.counters)
+        makespan = max(t.end_s for t in timeline.traces) - start_time
+        return ScheduleResult(
+            timeline=timeline,
+            makespan_s=makespan,
+            mode=mode,
+            total=total,
+            warp_seconds=warp_seconds,
+            device_warp_capacity=device.sm_count * device.max_warps_per_sm,
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _prepare_states(self, launches: list[KernelLaunch]) -> list[_LaunchState]:
+        states = []
+        for i, launch in enumerate(launches):
+            launch.validate(self._device)
+            cohorts = launch.cohorts or self._cost_model.build_cohorts(launch)
+            res = self._occupancy.residency(launch.config)
+            states.append(
+                _LaunchState(
+                    launch=launch,
+                    index=i,
+                    residency_blocks=res.blocks_per_sm,
+                    warps_per_block=launch.config.warps_per_block,
+                    smem_per_block=launch.config.shared_mem_per_block,
+                    cohorts=[[float(c.count), c.base_seconds] for c in cohorts],
+                    blocks_total=launch.config.grid_blocks,
+                )
+            )
+        return states
+
+    def _issue_time(self, st: _LaunchState, start_time: float) -> float:
+        return start_time + (st.index + 1) * self._device.launch_overhead_s
+
+    def _bulk_waves(
+        self,
+        st: _LaunchState,
+        cohort: list[float],
+        now: float,
+        warp_seconds: float,
+        horizon: float = math.inf,
+    ) -> tuple[float, float]:
+        """Advance full uniform waves of a lone launch analytically.
+
+        Only valid on an idle device.  ``horizon`` caps the fast-forward so
+        the scheduler never skips past the instant another launch becomes
+        runnable (which would destroy concurrency opportunities).
+        """
+        device = self._device
+        group = min(st.residency_blocks, device.max_blocks_per_sm)
+        group = min(group, device.max_warps_per_sm // st.warps_per_block)
+        if st.smem_per_block > 0:
+            group = min(group, device.shared_mem_per_sm // st.smem_per_block)
+        if group <= 0:
+            return now, warp_seconds
+        wave_blocks = group * device.sm_count
+        waves = int(cohort[0]) // wave_blocks
+        # bulk waves are single-kernel by construction: phase-correlation cap
+        eff = self._efficiency(group * st.warps_per_block) * device.single_kernel_efficiency
+        duration = cohort[1] * group / eff
+        if math.isfinite(horizon):
+            waves = min(waves, int(max(0.0, horizon - now) // duration))
+        if waves <= 0:
+            return now, warp_seconds
+        blocks = waves * wave_blocks
+        cohort[0] -= blocks
+        st.dispatched += blocks
+        st.blocks_done += blocks
+        if st.first_dispatch > now:
+            st.first_dispatch = now
+        warp_seconds += blocks * st.warps_per_block * duration
+        return now + waves * duration, warp_seconds

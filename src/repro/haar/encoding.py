@@ -1,0 +1,181 @@
+"""Packed 16-bit cascade encoding for constant memory (Section III-C).
+
+The cascade-evaluation kernel keeps every Haar feature in the GPU's 64 KiB
+constant memory so warp-uniform reads broadcast.  A naive float32 layout of
+the OpenCV cascade does not fit; the paper therefore *"reencodes and
+combines thresholds, coordinates, dimensions and weight values into two
+16-bit words using simple bitwise operations and masks"*.
+
+This module implements that scheme: feature geometry packs losslessly into
+two 16-bit words (type 3 bits, x/y 5 bits each, section sizes 5 bits each),
+while stump thresholds and votes are quantised to int16 against per-cascade
+scale factors.  :func:`decode_cascade` reverses the encoding so the accuracy
+cost of quantisation is measurable (see the feature-encoding ablation
+bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CascadeFormatError
+from repro.gpusim.device import DeviceSpec
+from repro.haar.cascade import Cascade, Stage, WeakClassifier
+from repro.haar.features import FeatureType, HaarFeature, feature_rects
+
+__all__ = [
+    "pack_geometry",
+    "unpack_geometry",
+    "EncodedCascade",
+    "encode_cascade",
+    "decode_cascade",
+    "raw_cascade_bytes",
+]
+
+_TYPE_ORDER = tuple(FeatureType)
+_TYPE_TO_CODE = {t: i for i, t in enumerate(_TYPE_ORDER)}
+
+
+def pack_geometry(feature: HaarFeature) -> tuple[int, int]:
+    """Pack a feature's geometry into two 16-bit words (lossless).
+
+    Word 0: ``type[2:0] | x[7:3] | y[12:8]``; word 1: ``sx[4:0] | sy[9:5]``.
+    All fields fit by construction: coordinates are below 24 (5 bits) and
+    section sizes below 23 (5 bits).
+    """
+    code = _TYPE_TO_CODE[feature.ftype]
+    word0 = code | (feature.x << 3) | (feature.y << 8)
+    word1 = feature.sx | (feature.sy << 5)
+    assert 0 <= word0 < 1 << 16 and 0 <= word1 < 1 << 16
+    return word0, word1
+
+
+def unpack_geometry(word0: int, word1: int) -> HaarFeature:
+    """Inverse of :func:`pack_geometry`."""
+    code = word0 & 0x7
+    if code >= len(_TYPE_ORDER):
+        raise CascadeFormatError(f"invalid packed feature type code {code}")
+    return HaarFeature(
+        ftype=_TYPE_ORDER[code],
+        x=(word0 >> 3) & 0x1F,
+        y=(word0 >> 8) & 0x1F,
+        sx=word1 & 0x1F,
+        sy=(word1 >> 5) & 0x1F,
+    )
+
+
+def _quantise(values: np.ndarray) -> tuple[np.ndarray, float]:
+    """Symmetric int16 quantisation; returns (codes, scale)."""
+    peak = float(np.max(np.abs(values))) if values.size else 0.0
+    scale = peak / 32767.0 if peak > 0 else 1.0
+    codes = np.clip(np.round(values / scale), -32767, 32767).astype(np.int16)
+    return codes, scale
+
+
+@dataclass(frozen=True)
+class EncodedCascade:
+    """A cascade packed for constant-memory upload."""
+
+    geometry: np.ndarray  # (F, 2) uint16
+    thresholds: np.ndarray  # (F,) int16
+    lefts: np.ndarray  # (F,) int16
+    rights: np.ndarray  # (F,) int16
+    stage_lengths: np.ndarray  # (S,) uint16
+    stage_thresholds: np.ndarray  # (S,) int16
+    threshold_scale: float
+    vote_scale: float
+    stage_scale: float
+    name: str
+    window: int
+
+    @property
+    def nbytes(self) -> int:
+        """Total constant-memory footprint in bytes."""
+        return int(
+            self.geometry.nbytes
+            + self.thresholds.nbytes
+            + self.lefts.nbytes
+            + self.rights.nbytes
+            + self.stage_lengths.nbytes
+            + self.stage_thresholds.nbytes
+            + 3 * 4  # the three float32 scale factors
+        )
+
+    def fits(self, device: DeviceSpec) -> bool:
+        """Whether the encoded cascade fits the device's constant memory."""
+        return self.nbytes <= device.constant_mem_bytes
+
+
+def encode_cascade(cascade: Cascade) -> EncodedCascade:
+    """Encode ``cascade`` into the packed constant-memory layout."""
+    features = [c for s in cascade.stages for c in s.classifiers]
+    geometry = np.array([pack_geometry(c.feature) for c in features], dtype=np.uint16)
+    thresholds, t_scale = _quantise(np.array([c.threshold for c in features]))
+    votes = np.array([[c.left, c.right] for c in features], dtype=np.float64)
+    peak = float(np.max(np.abs(votes))) if votes.size else 0.0
+    v_scale = peak / 32767.0 if peak > 0 else 1.0
+    lefts = np.clip(np.round(votes[:, 0] / v_scale), -32767, 32767).astype(np.int16)
+    rights = np.clip(np.round(votes[:, 1] / v_scale), -32767, 32767).astype(np.int16)
+    stage_thr, s_scale = _quantise(np.array([s.threshold for s in cascade.stages]))
+    return EncodedCascade(
+        geometry=geometry,
+        thresholds=thresholds,
+        lefts=lefts,
+        rights=rights,
+        stage_lengths=np.array([len(s) for s in cascade.stages], dtype=np.uint16),
+        stage_thresholds=stage_thr,
+        threshold_scale=t_scale,
+        vote_scale=v_scale,
+        stage_scale=s_scale,
+        name=cascade.name,
+        window=cascade.window,
+    )
+
+
+def decode_cascade(encoded: EncodedCascade) -> Cascade:
+    """Rebuild a :class:`Cascade` from its packed form.
+
+    Geometry is exact; thresholds and votes carry int16 quantisation error,
+    so the decoded cascade is what the GPU kernel actually evaluates.
+    """
+    stages = []
+    cursor = 0
+    for length, sthr in zip(encoded.stage_lengths, encoded.stage_thresholds):
+        classifiers = []
+        for i in range(cursor, cursor + int(length)):
+            w0, w1 = (int(v) for v in encoded.geometry[i])
+            classifiers.append(
+                WeakClassifier(
+                    feature=unpack_geometry(w0, w1),
+                    threshold=float(encoded.thresholds[i]) * encoded.threshold_scale,
+                    left=float(encoded.lefts[i]) * encoded.vote_scale,
+                    right=float(encoded.rights[i]) * encoded.vote_scale,
+                )
+            )
+        stages.append(
+            Stage(classifiers=tuple(classifiers), threshold=float(sthr) * encoded.stage_scale)
+        )
+        cursor += int(length)
+    return Cascade(
+        stages=tuple(stages),
+        name=f"{encoded.name}#decoded",
+        window=encoded.window,
+    )
+
+
+def raw_cascade_bytes(cascade: Cascade) -> int:
+    """Footprint of the naive (unpacked float32) cascade layout.
+
+    Each weighted rectangle costs five float32 words (x, y, w, h, weight)
+    plus three per classifier (threshold, left, right) — the layout the
+    paper's packed encoding replaces.  The OpenCV cascade exceeds 64 KiB in
+    this form, which is the point of Section III-C.
+    """
+    total = 0
+    for stage in cascade.stages:
+        total += 4  # stage threshold
+        for c in stage.classifiers:
+            total += len(feature_rects(c.feature)) * 5 * 4 + 3 * 4
+    return total

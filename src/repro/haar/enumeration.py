@@ -1,0 +1,132 @@
+"""Exhaustive Haar-feature enumeration — reproduces Table I.
+
+The paper reports, for 24x24 windows: edge 55 660, line 31 878,
+center-surround 3 969, diagonal 12 100 combinations.  Those counts factor
+exactly as products of per-axis slot counts under one rule, which this
+module implements:
+
+    an axis split into *k* equal sections ranges over a domain of length
+    ``23 - k`` (one guard pixel plus one per section), i.e. the number of
+    (position, size) slots on that axis is ``sum_a (24 - k - k*a)`` for
+    section sizes ``a >= 1``.
+
+That gives 253 slots for an un-split axis (k=1), 110 for k=2 and 63 for
+k=3, hence::
+
+    edge            = 2 * 253 * 110 = 55 660
+    line            = 2 * 253 *  63 = 31 878
+    center-surround =        63**2  =  3 969
+    diagonal        =       110**2  = 12 100
+
+matching Table I exactly (the derivation is documented in DESIGN.md).
+Features are placed with a one-pixel top-left margin inside the window.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import ConfigurationError
+from repro.haar.features import WINDOW, FeatureType, HaarFeature
+from repro.utils.rng import rng_for
+
+__all__ = [
+    "axis_slots",
+    "enumerate_features",
+    "feature_count",
+    "table1_counts",
+    "TABLE1_EXPECTED",
+    "full_feature_pool",
+    "subsampled_feature_pool",
+]
+
+#: Table I of the paper.
+TABLE1_EXPECTED = {
+    "edge": 55_660,
+    "line": 31_878,
+    "center_surround": 3_969,
+    "diagonal": 12_100,
+}
+
+#: feature families grouped as Table I groups them
+FAMILIES: dict[str, tuple[FeatureType, ...]] = {
+    "edge": (FeatureType.EDGE_H, FeatureType.EDGE_V),
+    "line": (FeatureType.LINE_H, FeatureType.LINE_V),
+    "center_surround": (FeatureType.CENTER_SURROUND,),
+    "diagonal": (FeatureType.DIAGONAL,),
+}
+
+#: one-pixel placement margin (see module docstring)
+_MARGIN = 1
+
+
+def axis_slots(sections: int, window: int = WINDOW) -> list[tuple[int, int]]:
+    """(position, section-size) slots for an axis split into ``sections``.
+
+    Positions are absolute window coordinates (margin already applied).
+    """
+    if sections < 1:
+        raise ConfigurationError("sections must be >= 1")
+    domain = window - _MARGIN - sections
+    slots = []
+    for size in range(1, domain // sections + 1):
+        extent = sections * size
+        for pos in range(domain - extent + 1):
+            slots.append((pos + _MARGIN, size))
+    return slots
+
+
+def enumerate_features(ftype: FeatureType) -> Iterator[HaarFeature]:
+    """Yield every feature of one type under the Table I quantisation."""
+    kx, ky = ftype.sections
+    for y, sy in axis_slots(ky):
+        for x, sx in axis_slots(kx):
+            yield HaarFeature(ftype=ftype, x=x, y=y, sx=sx, sy=sy)
+
+
+def feature_count(ftype: FeatureType) -> int:
+    """Closed-form feature count for one type (no enumeration)."""
+    kx, ky = ftype.sections
+    return len(axis_slots(kx)) * len(axis_slots(ky))
+
+
+def table1_counts() -> dict[str, int]:
+    """Feature combinations per family — the reproduction of Table I."""
+    return {
+        family: sum(feature_count(t) for t in types)
+        for family, types in FAMILIES.items()
+    }
+
+
+def full_feature_pool() -> list[HaarFeature]:
+    """All 103 607 features of every family (Table I total)."""
+    pool: list[HaarFeature] = []
+    for types in FAMILIES.values():
+        for t in types:
+            pool.extend(enumerate_features(t))
+    return pool
+
+
+def subsampled_feature_pool(size: int, seed: int = 0) -> list[HaarFeature]:
+    """A deterministic random subsample of the full pool.
+
+    Training the benchmark cascades against all 103 607 combinations is the
+    paper's multi-day offline job; the quick profiles subsample the pool
+    while keeping every family represented proportionally.
+    """
+    if size <= 0:
+        raise ConfigurationError("pool size must be positive")
+    counts = table1_counts()
+    total = sum(counts.values())
+    if size >= total:
+        return full_feature_pool()
+    rng = rng_for(seed, "feature-pool", size)
+    pool: list[HaarFeature] = []
+    for family, types in FAMILIES.items():
+        family_pool: list[HaarFeature] = []
+        for t in types:
+            family_pool.extend(enumerate_features(t))
+        take = max(1, round(size * counts[family] / total))
+        idx = rng.choice(len(family_pool), size=min(take, len(family_pool)), replace=False)
+        pool.extend(family_pool[i] for i in sorted(idx))
+    return pool

@@ -1,0 +1,240 @@
+"""Haar-like features over 24x24 detection windows.
+
+The four families of Table I are implemented:
+
+* **edge** — two adjacent rectangles (light/dark), both orientations;
+* **line** — three adjacent strips (light/dark/light), both orientations;
+* **center-surround** — a 3x3 grid with the centre cell against the ring;
+* **diagonal** — a 2x2 checkerboard of quadrants.
+
+A feature is stored as its family plus the layout of its bounding box
+(position and per-axis section size inside the window); the weighted
+rectangles and integral-image access patterns derive from that.  Every
+family is weighted to be zero-mean on constant images, so feature responses
+measure local contrast only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "FeatureType",
+    "Rect",
+    "HaarFeature",
+    "feature_rects",
+    "memory_accesses",
+    "feature_values_grid",
+    "feature_values_at",
+    "feature_projection",
+    "WINDOW",
+]
+
+#: detection-window side used throughout the paper (24x24 training faces)
+WINDOW = 24
+
+
+class FeatureType(Enum):
+    """Haar feature family and orientation."""
+
+    EDGE_H = "edge_h"  # two stacked rectangles (split along y)
+    EDGE_V = "edge_v"  # two side-by-side rectangles (split along x)
+    LINE_H = "line_h"  # three stacked strips
+    LINE_V = "line_v"  # three side-by-side strips
+    CENTER_SURROUND = "center_surround"
+    DIAGONAL = "diagonal"
+
+    @property
+    def sections(self) -> tuple[int, int]:
+        """Sections along (x, y) axes of the bounding box."""
+        return _SECTIONS[self]
+
+
+_SECTIONS = {
+    FeatureType.EDGE_H: (1, 2),
+    FeatureType.EDGE_V: (2, 1),
+    FeatureType.LINE_H: (1, 3),
+    FeatureType.LINE_V: (3, 1),
+    FeatureType.CENTER_SURROUND: (3, 3),
+    FeatureType.DIAGONAL: (2, 2),
+}
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A weighted rectangle in window coordinates."""
+
+    x: int
+    y: int
+    w: int
+    h: int
+    weight: float
+
+
+@dataclass(frozen=True)
+class HaarFeature:
+    """One Haar feature: family + bounding-box layout inside the window.
+
+    ``sx``/``sy`` are the per-axis *section* sizes; the bounding box spans
+    ``sections_x * sx`` by ``sections_y * sy`` pixels at ``(x, y)``.
+    """
+
+    ftype: FeatureType
+    x: int
+    y: int
+    sx: int
+    sy: int
+
+    def __post_init__(self) -> None:
+        kx, ky = self.ftype.sections
+        if self.sx <= 0 or self.sy <= 0:
+            raise ConfigurationError(f"section sizes must be positive: {self}")
+        if self.x < 0 or self.y < 0:
+            raise ConfigurationError(f"feature position must be non-negative: {self}")
+        if self.x + kx * self.sx > WINDOW or self.y + ky * self.sy > WINDOW:
+            raise ConfigurationError(f"feature exceeds the {WINDOW}x{WINDOW} window: {self}")
+
+    @property
+    def width(self) -> int:
+        return self.ftype.sections[0] * self.sx
+
+    @property
+    def height(self) -> int:
+        return self.ftype.sections[1] * self.sy
+
+
+@lru_cache(maxsize=262_144)
+def feature_rects(feature: HaarFeature) -> tuple[Rect, ...]:
+    """Weighted rectangles composing ``feature`` (zero-mean weighting).
+
+    Cached: features are immutable and the detection kernel re-reads the
+    same cascade's rectangles for every pyramid level of every frame.
+    """
+    return tuple(_feature_rects(feature))
+
+
+def _feature_rects(feature: HaarFeature) -> list[Rect]:
+    f = feature
+    t = f.ftype
+    if t is FeatureType.EDGE_H:
+        return [
+            Rect(f.x, f.y, f.sx, f.sy, +1.0),
+            Rect(f.x, f.y + f.sy, f.sx, f.sy, -1.0),
+        ]
+    if t is FeatureType.EDGE_V:
+        return [
+            Rect(f.x, f.y, f.sx, f.sy, +1.0),
+            Rect(f.x + f.sx, f.y, f.sx, f.sy, -1.0),
+        ]
+    if t is FeatureType.LINE_H:
+        return [
+            Rect(f.x, f.y, f.sx, f.sy, +1.0),
+            Rect(f.x, f.y + f.sy, f.sx, f.sy, -2.0),
+            Rect(f.x, f.y + 2 * f.sy, f.sx, f.sy, +1.0),
+        ]
+    if t is FeatureType.LINE_V:
+        return [
+            Rect(f.x, f.y, f.sx, f.sy, +1.0),
+            Rect(f.x + f.sx, f.y, f.sx, f.sy, -2.0),
+            Rect(f.x + 2 * f.sx, f.y, f.sx, f.sy, +1.0),
+        ]
+    if t is FeatureType.CENTER_SURROUND:
+        return [
+            Rect(f.x, f.y, 3 * f.sx, 3 * f.sy, +1.0),
+            Rect(f.x + f.sx, f.y + f.sy, f.sx, f.sy, -9.0),
+        ]
+    if t is FeatureType.DIAGONAL:
+        return [
+            Rect(f.x, f.y, f.sx, f.sy, +1.0),
+            Rect(f.x + f.sx, f.y, f.sx, f.sy, -1.0),
+            Rect(f.x, f.y + f.sy, f.sx, f.sy, -1.0),
+            Rect(f.x + f.sx, f.y + f.sy, f.sx, f.sy, +1.0),
+        ]
+    raise ConfigurationError(f"unknown feature type {t!r}")
+
+
+def memory_accesses(feature: HaarFeature) -> int:
+    """Integral-image fetches to evaluate the feature (paper Section III-C).
+
+    The paper budgets 9 accesses per rectangle (4 corner fetches plus the 5
+    attribute words), i.e. 18 for a 2-rectangle and 27 for a 3-rectangle
+    feature.
+    """
+    return 9 * len(feature_rects(feature))
+
+
+def feature_values_grid(ii: np.ndarray, feature: HaarFeature) -> np.ndarray:
+    """Feature response at every window anchor of an integral image.
+
+    ``ii`` is the padded ``(h+1, w+1)`` integral image; the result has shape
+    ``(h - WINDOW + 1, w - WINDOW + 1)`` and entry ``(y, x)`` is the response
+    of the window anchored at pixel ``(y, x)``.  Fully vectorised: each
+    weighted rectangle contributes 4 shifted views of ``ii``.
+    """
+    h = ii.shape[0] - 1 - WINDOW + 1
+    w = ii.shape[1] - 1 - WINDOW + 1
+    if h <= 0 or w <= 0:
+        raise ConfigurationError("integral image smaller than the detection window")
+    out = np.zeros((h, w), dtype=np.float64)
+    for r in feature_rects(feature):
+        x0, y0, x1, y1 = r.x, r.y, r.x + r.w, r.y + r.h
+        out += r.weight * (
+            ii[y1 : y1 + h, x1 : x1 + w]
+            - ii[y0 : y0 + h, x1 : x1 + w]
+            - ii[y1 : y1 + h, x0 : x0 + w]
+            + ii[y0 : y0 + h, x0 : x0 + w]
+        )
+    return out
+
+
+def feature_values_at(
+    ii: np.ndarray, feature: HaarFeature, ys: np.ndarray, xs: np.ndarray
+) -> np.ndarray:
+    """Feature response at sparse window anchors ``(ys[i], xs[i])``.
+
+    Used for the surviving windows of deeper cascade stages, where dense
+    grid evaluation would waste work on already-rejected anchors.
+    """
+    out = np.zeros(len(ys), dtype=np.float64)
+    for r in feature_rects(feature):
+        x0, y0, x1, y1 = r.x, r.y, r.x + r.w, r.y + r.h
+        out += r.weight * (
+            ii[ys + y1, xs + x1]
+            - ii[ys + y0, xs + x1]
+            - ii[ys + y1, xs + x0]
+            + ii[ys + y0, xs + x0]
+        )
+    return out
+
+
+def feature_projection(feature: HaarFeature, stride: int = WINDOW + 1) -> tuple[np.ndarray, np.ndarray]:
+    """Sparse linear form of the feature over a flattened padded integral.
+
+    Returns ``(indices, coeffs)`` such that the feature response of a 24x24
+    integral image packed column-by-column... more precisely flattened
+    row-major with row stride ``stride`` (default 25) equals
+    ``coeffs @ flat_ii[indices]``.  This is the representation behind the
+    paper's Fig. 4 dataset-matrix trick: the whole training set becomes one
+    gather + GEMV per feature.
+    """
+    acc: dict[int, float] = {}
+    for r in feature_rects(feature):
+        x0, y0, x1, y1 = r.x, r.y, r.x + r.w, r.y + r.h
+        for (yy, xx), sign in (
+            ((y1, x1), +1.0),
+            ((y0, x1), -1.0),
+            ((y1, x0), -1.0),
+            ((y0, x0), +1.0),
+        ):
+            idx = yy * stride + xx
+            acc[idx] = acc.get(idx, 0.0) + sign * r.weight
+    items = sorted((i, c) for i, c in acc.items() if c != 0.0)
+    indices = np.array([i for i, _ in items], dtype=np.int64)
+    coeffs = np.array([c for _, c in items], dtype=np.float64)
+    return indices, coeffs

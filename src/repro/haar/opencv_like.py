@@ -1,0 +1,57 @@
+"""Stage-size profiles of the two benchmark cascades.
+
+Table II compares the paper's cascade (25 stages, **1446** weak classifiers,
+GentleBoost) against the OpenCV frontal cascade of Lienhart et al.
+(25 stages, **2913** weak classifiers, discrete AdaBoost).  The OpenCV
+profile below is the stage structure of ``haarcascade_frontalface_default``;
+:func:`paper_stage_sizes` derives the paper-cascade profile by proportional
+scaling to the published 1446 total (per-stage sizes are not published).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["OPENCV_FRONTAL_STAGE_SIZES", "paper_stage_sizes", "scale_profile"]
+
+#: Per-stage weak-classifier counts of OpenCV's default frontal cascade
+#: (25 stages; the total is exactly the paper's 2913).
+OPENCV_FRONTAL_STAGE_SIZES = (
+    9, 16, 27, 32, 52, 53, 62, 72, 83, 91, 99, 115, 127, 135, 136, 137,
+    159, 155, 169, 196, 197, 181, 199, 211, 200,
+)
+
+assert sum(OPENCV_FRONTAL_STAGE_SIZES) == 2913
+
+
+def scale_profile(profile: tuple[int, ...], target_total: int) -> tuple[int, ...]:
+    """Scale a stage-size profile to a new total, preserving its shape.
+
+    Sizes are scaled proportionally, floored at 1, then adjusted by
+    largest-remainder so the result sums exactly to ``target_total`` while
+    staying monotone-ish like the source profile.
+    """
+    if target_total < len(profile):
+        raise ConfigurationError(
+            f"target total {target_total} below one classifier per stage ({len(profile)})"
+        )
+    total = sum(profile)
+    raw = [s * target_total / total for s in profile]
+    sizes = [max(1, int(r)) for r in raw]
+    remainder = target_total - sum(sizes)
+    # distribute the remainder to the stages with the largest fractional loss
+    order = sorted(range(len(profile)), key=lambda i: raw[i] - sizes[i], reverse=remainder > 0)
+    step = 1 if remainder > 0 else -1
+    i = 0
+    while remainder != 0:
+        idx = order[i % len(order)]
+        if sizes[idx] + step >= 1:
+            sizes[idx] += step
+            remainder -= step
+        i += 1
+    return tuple(sizes)
+
+
+def paper_stage_sizes() -> tuple[int, ...]:
+    """Stage profile of the paper's 25-stage / 1446-classifier cascade."""
+    return scale_profile(OPENCV_FRONTAL_STAGE_SIZES, 1446)

@@ -1,0 +1,81 @@
+"""Texture-memory emulation with bilinear ``tex2D`` fetches.
+
+The paper stores decoded frames in texture memory and configures it for
+linear interpolation, so the scaling stage is a pure gather of interpolated
+fetches (Section III-A).  :class:`Texture2D` reproduces CUDA's behaviour for
+unnormalised float coordinates with clamp-to-edge addressing: the sample
+points sit at texel centres, i.e. fetching at ``x + 0.5`` returns texel ``x``
+exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MemoryModelError
+from repro.utils.validation import check_shape_2d
+
+__all__ = ["Texture2D"]
+
+
+class Texture2D:
+    """A read-only 2-D float texture with bilinear filtering."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        check_shape_2d("texture data", np.asarray(data))
+        self._data = np.ascontiguousarray(data, dtype=np.float32)
+
+    @property
+    def height(self) -> int:
+        return self._data.shape[0]
+
+    @property
+    def width(self) -> int:
+        return self._data.shape[1]
+
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying texel array (read-only view)."""
+        view = self._data.view()
+        view.flags.writeable = False
+        return view
+
+    def fetch(self, x: np.ndarray | float, y: np.ndarray | float) -> np.ndarray:
+        """``tex2D`` with bilinear filtering and clamp addressing.
+
+        ``x``/``y`` are unnormalised float coordinates; like CUDA, the texel
+        centre of texel ``(i, j)`` is at coordinate ``(i + 0.5, j + 0.5)``.
+        Accepts scalars or broadcastable arrays and returns float32.
+        """
+        xf = np.asarray(x, dtype=np.float64) - 0.5
+        yf = np.asarray(y, dtype=np.float64) - 0.5
+        if xf.shape != yf.shape:
+            try:
+                xf, yf = np.broadcast_arrays(xf, yf)
+            except ValueError as exc:
+                raise MemoryModelError(
+                    f"tex2D coordinate shapes do not broadcast: {np.shape(x)} vs {np.shape(y)}"
+                ) from exc
+
+        x0 = np.floor(xf).astype(np.int64)
+        y0 = np.floor(yf).astype(np.int64)
+        fx = (xf - x0).astype(np.float32)
+        fy = (yf - y0).astype(np.float32)
+
+        w, h = self.width, self.height
+        x0c = np.clip(x0, 0, w - 1)
+        x1c = np.clip(x0 + 1, 0, w - 1)
+        y0c = np.clip(y0, 0, h - 1)
+        y1c = np.clip(y0 + 1, 0, h - 1)
+
+        d = self._data
+        top = d[y0c, x0c] * (1.0 - fx) + d[y0c, x1c] * fx
+        bottom = d[y1c, x0c] * (1.0 - fx) + d[y1c, x1c] * fx
+        return (top * (1.0 - fy) + bottom * fy).astype(np.float32)
+
+    def fetch_grid(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Fetch a full grid: ``ys`` column coords outer-product ``xs`` rows.
+
+        Equivalent to one ``tex2D`` per output pixel in a scaling kernel.
+        """
+        return self.fetch(xs[np.newaxis, :], ys[:, np.newaxis])

@@ -1,0 +1,45 @@
+"""Artifact caching for trained cascades and experiment outputs.
+
+Cascade training is the reproduction's only expensive offline step (the
+paper quotes days for the real thing); trained cascades are cached as JSON
+under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro-facedetect``) keyed by
+name, so test and benchmark runs after the first are fast.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+from pathlib import Path
+
+__all__ = ["artifact_dir", "cached_cascade"]
+
+_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def artifact_dir() -> Path:
+    """The cache directory (created on first use)."""
+    root = os.environ.get(_ENV_VAR)
+    path = Path(root) if root else Path.home() / ".cache" / "repro-facedetect"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def cached_cascade(name: str, builder: Callable[[], "object"]):
+    """Load cascade ``name`` from cache or build and store it.
+
+    ``builder`` must return a :class:`repro.haar.cascade.Cascade`.  Cache
+    files that fail to parse are rebuilt rather than crashing the caller.
+    """
+    from repro.errors import CascadeFormatError
+    from repro.haar.cascade import Cascade
+
+    path = artifact_dir() / f"{name}.cascade.json"
+    if path.exists():
+        try:
+            return Cascade.load(path)
+        except CascadeFormatError:
+            path.unlink()
+    cascade = builder()
+    cascade.save(path)
+    return cascade

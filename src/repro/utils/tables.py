@@ -1,0 +1,60 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness prints paper-style tables (e.g. Table II) to stdout so
+``pytest benchmarks/ --benchmark-only -s`` output can be compared against the
+paper directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table"]
+
+
+def _cell(value: object, width: int, numeric: bool) -> str:
+    text = value if isinstance(value, str) else _render(value)
+    return text.rjust(width) if numeric else text.ljust(width)
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Format ``rows`` under ``headers`` as an aligned monospace table.
+
+    Columns whose body cells are all numeric are right-aligned. Raises
+    :class:`ValueError` on ragged rows so formatting bugs fail loudly.
+    """
+    ncol = len(headers)
+    for i, row in enumerate(rows):
+        if len(row) != ncol:
+            raise ValueError(f"row {i} has {len(row)} cells, expected {ncol}")
+    rendered = [[_render(c) for c in row] for row in rows]
+    numeric_col = [
+        all(isinstance(row[j], (int, float)) and not isinstance(row[j], bool) for row in rows)
+        if rows
+        else False
+        for j in range(ncol)
+    ]
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in rendered)) if rendered else len(headers[j])
+        for j in range(ncol)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(headers[j].ljust(widths[j]) for j in range(ncol)))
+    lines.append("  ".join("-" * widths[j] for j in range(ncol)))
+    for orig, row in zip(rows, rendered):
+        lines.append(
+            "  ".join(_cell(row[j], widths[j], numeric_col[j]) for j in range(ncol))
+        )
+    return "\n".join(lines)

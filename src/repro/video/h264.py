@@ -1,0 +1,186 @@
+"""Mock H.264 Annex-B bitstream (codec-shaped substitute, see DESIGN.md).
+
+The paper demuxes real H.264 trailers with libavformat and feeds NAL units
+to the GPU's CUVID decoder.  Offline we build a structurally equivalent
+container: Annex-B start codes, SPS/PPS headers, IDR (intra) and P
+(predicted) slices on a fixed GOP, with actual entropy coding (zlib over
+intra frames / temporal deltas) so bitrate scales with content like a real
+codec's does.  It is *not* H.264 — it exercises the same pipeline path:
+demux -> enqueue compressed access units -> hardware-decoder model.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+import numpy as np
+
+from repro.errors import BitstreamError
+
+__all__ = ["NalType", "NalUnit", "AccessUnit", "Bitstream", "encode_video", "demux"]
+
+_START_CODE = b"\x00\x00\x00\x01"
+_MAGIC = b"RPRO"
+
+
+class NalType(IntEnum):
+    """NAL unit types (subset mirroring H.264's)."""
+
+    SPS = 7
+    PPS = 8
+    IDR_SLICE = 5
+    P_SLICE = 1
+
+
+@dataclass(frozen=True)
+class NalUnit:
+    """One NAL unit: type byte + payload."""
+
+    nal_type: NalType
+    payload: bytes
+
+    def serialize(self) -> bytes:
+        return _START_CODE + bytes([int(self.nal_type)]) + self.payload
+
+
+@dataclass(frozen=True)
+class AccessUnit:
+    """One coded frame: its slice NAL plus display metadata."""
+
+    frame_index: int
+    nal: NalUnit
+
+    @property
+    def is_idr(self) -> bool:
+        return self.nal.nal_type == NalType.IDR_SLICE
+
+    @property
+    def coded_bytes(self) -> int:
+        return len(self.nal.payload)
+
+
+@dataclass
+class Bitstream:
+    """A muxed mock-H.264 stream."""
+
+    width: int
+    height: int
+    fps: float
+    gop: int
+    nals: list[NalUnit] = field(default_factory=list)
+
+    @property
+    def coded_size(self) -> int:
+        return sum(len(n.payload) + 5 for n in self.nals)
+
+    @property
+    def n_frames(self) -> int:
+        return sum(1 for n in self.nals if n.nal_type in (NalType.IDR_SLICE, NalType.P_SLICE))
+
+    def bitrate(self) -> float:
+        """Average bitrate in bits/second."""
+        frames = self.n_frames
+        if frames == 0:
+            return 0.0
+        return self.coded_size * 8.0 * self.fps / frames
+
+    def serialize(self) -> bytes:
+        header = _MAGIC + struct.pack("<HHfH", self.width, self.height, self.fps, self.gop)
+        return header + b"".join(n.serialize() for n in self.nals)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "Bitstream":
+        """Parse a serialised stream; raises :class:`BitstreamError`."""
+        if len(data) < 14 or data[:4] != _MAGIC:
+            raise BitstreamError("missing container magic")
+        width, height, fps, gop = struct.unpack("<HHfH", data[4:14])
+        stream = cls(width=width, height=height, fps=fps, gop=gop)
+        pos = 14
+        blob = data
+        while pos < len(blob):
+            if blob[pos : pos + 4] != _START_CODE:
+                raise BitstreamError(f"missing start code at offset {pos}")
+            nxt = blob.find(_START_CODE, pos + 4)
+            end = nxt if nxt != -1 else len(blob)
+            try:
+                nal_type = NalType(blob[pos + 4])
+            except ValueError as exc:
+                raise BitstreamError(f"unknown NAL type {blob[pos + 4]}") from exc
+            stream.nals.append(NalUnit(nal_type, bytes(blob[pos + 5 : end])))
+            pos = end
+        return stream
+
+
+def _encode_plane(plane: np.ndarray, quant: int) -> bytes:
+    q = np.clip(np.round(plane / quant), -128, 127).astype(np.int8)
+    return zlib.compress(q.tobytes(), level=6)
+
+
+def _decode_plane(payload: bytes, shape: tuple[int, int], quant: int) -> np.ndarray:
+    raw = np.frombuffer(zlib.decompress(payload), dtype=np.int8)
+    if raw.size != shape[0] * shape[1]:
+        raise BitstreamError("slice payload does not match frame geometry")
+    return raw.reshape(shape).astype(np.float32) * quant
+
+
+def encode_video(
+    frames: list[np.ndarray] | np.ndarray,
+    fps: float = 24.0,
+    gop: int = 24,
+    quant: int = 4,
+) -> Bitstream:
+    """Encode grayscale frames into a mock bitstream.
+
+    IDR frames code the quantised frame directly; P frames code the
+    quantised temporal delta against the *reconstructed* previous frame
+    (closed-loop prediction, like a real encoder, so drift cannot grow).
+    """
+    if len(frames) == 0:
+        raise BitstreamError("no frames to encode")
+    first = np.asarray(frames[0])
+    h, w = first.shape
+    if gop <= 0 or quant <= 0:
+        raise BitstreamError("gop and quant must be positive")
+    stream = Bitstream(width=w, height=h, fps=fps, gop=gop)
+    stream.nals.append(NalUnit(NalType.SPS, struct.pack("<HHB", w, h, quant)))
+    stream.nals.append(NalUnit(NalType.PPS, b"\x00"))
+    reference: np.ndarray | None = None
+    for i, frame in enumerate(frames):
+        f = np.asarray(frame, dtype=np.float32)
+        if f.shape != (h, w):
+            raise BitstreamError(f"frame {i} has shape {f.shape}, expected {(h, w)}")
+        if i % gop == 0:
+            payload = _encode_plane(f, quant)
+            stream.nals.append(NalUnit(NalType.IDR_SLICE, payload))
+            reference = _decode_plane(payload, (h, w), quant)
+        else:
+            assert reference is not None
+            delta = f - reference
+            payload = _encode_plane(delta, quant)
+            stream.nals.append(NalUnit(NalType.P_SLICE, payload))
+            reference = reference + _decode_plane(payload, (h, w), quant)
+    return stream
+
+
+def demux(stream: Bitstream) -> list[AccessUnit]:
+    """Split a bitstream into per-frame access units (libavformat's job).
+
+    Raises if the stream lacks SPS/PPS headers before the first slice.
+    """
+    units: list[AccessUnit] = []
+    seen_sps = seen_pps = False
+    frame = 0
+    for nal in stream.nals:
+        if nal.nal_type == NalType.SPS:
+            seen_sps = True
+        elif nal.nal_type == NalType.PPS:
+            seen_pps = True
+        else:
+            if not (seen_sps and seen_pps):
+                raise BitstreamError("slice NAL before SPS/PPS headers")
+            units.append(AccessUnit(frame_index=frame, nal=nal))
+            frame += 1
+    return units

@@ -1,0 +1,49 @@
+"""NV12 frame format helpers.
+
+The paper's hardware decoder emits frames in NV12 (planar 8-bit luma
+followed by interleaved, 2x2-subsampled chroma).  Section V: "it is enough
+to consider only the initial array of luminance components as the input of
+the scaling process" — :func:`extract_luma` is exactly that step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BitstreamError
+
+__all__ = ["nv12_size", "pack_nv12", "extract_luma"]
+
+
+def nv12_size(width: int, height: int) -> int:
+    """Bytes of an NV12 frame: Y plane + half-size interleaved UV plane."""
+    if width <= 0 or height <= 0 or width % 2 or height % 2:
+        raise BitstreamError(f"NV12 requires positive even dimensions, got {width}x{height}")
+    return width * height * 3 // 2
+
+
+def pack_nv12(luma: np.ndarray, chroma_value: int = 128) -> np.ndarray:
+    """Pack a grayscale frame into an NV12 buffer (flat uint8).
+
+    Chroma is flat (grayscale video): both U and V are ``chroma_value``.
+    """
+    y = np.asarray(luma)
+    if y.ndim != 2:
+        raise BitstreamError(f"luma must be 2-D, got shape {y.shape}")
+    h, w = y.shape
+    total = nv12_size(w, h)
+    buf = np.empty(total, dtype=np.uint8)
+    buf[: w * h] = np.clip(np.round(y), 0, 255).astype(np.uint8).ravel()
+    buf[w * h :] = np.uint8(chroma_value)
+    return buf
+
+
+def extract_luma(nv12: np.ndarray, width: int, height: int) -> np.ndarray:
+    """Luma plane of an NV12 buffer as float32 (the detector's input)."""
+    buf = np.asarray(nv12, dtype=np.uint8).ravel()
+    expected = nv12_size(width, height)
+    if buf.size != expected:
+        raise BitstreamError(
+            f"NV12 buffer has {buf.size} bytes, expected {expected} for {width}x{height}"
+        )
+    return buf[: width * height].reshape(height, width).astype(np.float32)

@@ -1,0 +1,117 @@
+"""Tests for GentleBoost / AdaBoost and the feature-response machinery."""
+
+import numpy as np
+import pytest
+
+from repro.boosting.adaboost import AdaBoost
+from repro.boosting.dataset import build_training_set
+from repro.boosting.gentleboost import GentleBoost
+from repro.boosting.responses import compute_responses, projection_matrix
+from repro.errors import TrainingError
+from repro.haar.enumeration import subsampled_feature_pool
+from repro.haar.features import feature_values_at
+from repro.image.integral import integral_image
+
+
+@pytest.fixture(scope="module")
+def training_set():
+    return build_training_set(120, 120, seed=3)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return subsampled_feature_pool(400, seed=0)
+
+
+class TestResponses:
+    def test_projection_matrix_shape(self, pool):
+        proj = projection_matrix(pool[:10])
+        assert proj.shape == (10, 625)
+
+    def test_responses_match_direct_feature_eval(self, training_set, pool):
+        # Column p of the dataset is a normalised padded integral; the
+        # response must equal evaluating the feature on that window.
+        rng = np.random.default_rng(0)
+        windows = rng.uniform(0, 255, (3, 24, 24))
+        from repro.boosting.dataset import pack_windows
+
+        data, sigmas = pack_windows(windows)
+        responses = compute_responses(pool[:5], data)
+        for j, feature in enumerate(pool[:5]):
+            for i in range(3):
+                ii = integral_image(windows[i])
+                direct = feature_values_at(ii, feature, np.array([0]), np.array([0]))[0]
+                assert responses[j, i] == pytest.approx(direct / sigmas[i], rel=1e-9)
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(TrainingError):
+            projection_matrix([])
+
+    def test_rejects_bad_matrix(self, pool):
+        with pytest.raises(TrainingError):
+            compute_responses(pool[:2], np.zeros((100, 5)))
+
+
+class TestGentleBoost:
+    def test_training_error_decreases(self, training_set, pool):
+        result = GentleBoost(pool).fit(training_set, 12)
+        assert result.train_errors[-1] <= result.train_errors[0]
+        assert result.train_errors[-1] < 0.2
+
+    def test_round_count(self, training_set, pool):
+        result = GentleBoost(pool).fit(training_set, 5)
+        assert result.n_rounds == 5
+        assert len(result.train_errors) == 5
+
+    def test_scores_separate_classes(self, training_set, pool):
+        result = GentleBoost(pool).fit(training_set, 10)
+        y = training_set.labels
+        assert result.scores[y == 1].mean() > result.scores[y == -1].mean()
+
+    def test_deterministic(self, training_set, pool):
+        a = GentleBoost(pool).fit(training_set, 4)
+        b = GentleBoost(pool).fit(training_set, 4)
+        assert a.classifiers == b.classifiers
+
+    def test_callback_invoked(self, training_set, pool):
+        seen = []
+        GentleBoost(pool).fit(training_set, 3, callback=lambda m, w: seen.append(m))
+        assert seen == [0, 1, 2]
+
+    def test_stump_outputs_bounded(self, training_set, pool):
+        # Gentle stumps are weighted means of +-1 targets: always in [-1, 1].
+        result = GentleBoost(pool).fit(training_set, 8)
+        eps = 1e-9
+        for c in result.classifiers:
+            assert -1.0 - eps <= c.left <= 1.0 + eps
+            assert -1.0 - eps <= c.right <= 1.0 + eps
+
+    def test_rejects_zero_rounds(self, training_set, pool):
+        with pytest.raises(TrainingError):
+            GentleBoost(pool).fit(training_set, 0)
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(TrainingError):
+            GentleBoost([])
+
+
+class TestAdaBoost:
+    def test_training_error_decreases(self, training_set, pool):
+        result = AdaBoost(pool).fit(training_set, 12)
+        assert result.train_errors[-1] <= result.train_errors[0]
+
+    def test_votes_are_symmetric_alpha(self, training_set, pool):
+        result = AdaBoost(pool).fit(training_set, 6)
+        for c in result.classifiers:
+            assert c.left == pytest.approx(-c.right)
+            assert abs(c.right) > 0
+
+    def test_deterministic(self, training_set, pool):
+        a = AdaBoost(pool).fit(training_set, 4)
+        b = AdaBoost(pool).fit(training_set, 4)
+        assert a.classifiers == b.classifiers
+
+    def test_comparable_to_gentleboost_on_easy_data(self, training_set, pool):
+        gentle = GentleBoost(pool).fit(training_set, 10)
+        ada = AdaBoost(pool).fit(training_set, 10)
+        assert abs(gentle.train_errors[-1] - ada.train_errors[-1]) < 0.15

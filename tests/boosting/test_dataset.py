@@ -1,0 +1,115 @@
+"""Tests for training-set packing (the Fig. 4 dataset-matrix layout)."""
+
+import numpy as np
+import pytest
+
+from repro.boosting.dataset import PACKED_ROWS, TrainingSet, build_training_set, pack_windows
+from repro.errors import TrainingError
+from repro.haar.features import WINDOW
+
+
+class TestPackWindows:
+    def test_shape(self):
+        windows = np.random.default_rng(0).uniform(0, 255, (7, 24, 24))
+        matrix, sigmas = pack_windows(windows)
+        assert matrix.shape == (PACKED_ROWS, 7)
+        assert sigmas.shape == (7,)
+
+    def test_packed_rows_is_625(self):
+        assert PACKED_ROWS == 25 * 25
+
+    def test_column_is_normalised_integral(self):
+        rng = np.random.default_rng(1)
+        w = rng.uniform(0, 255, (1, 24, 24))
+        matrix, sigmas = pack_windows(w)
+        ii = np.zeros((25, 25))
+        ii[1:, 1:] = np.cumsum(np.cumsum(w[0], 0), 1)
+        np.testing.assert_allclose(matrix[:, 0], ii.ravel() / sigmas[0])
+
+    def test_sigma_is_window_std(self):
+        rng = np.random.default_rng(2)
+        w = rng.uniform(0, 255, (3, 24, 24))
+        _, sigmas = pack_windows(w)
+        np.testing.assert_allclose(sigmas, w.reshape(3, -1).std(axis=1))
+
+    def test_flat_window_sigma_floored(self):
+        w = np.full((1, 24, 24), 55.0)
+        _, sigmas = pack_windows(w)
+        assert sigmas[0] == 1.0
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(TrainingError):
+            pack_windows(np.zeros((3, 20, 20)))
+
+    def test_normalisation_makes_responses_contrast_invariant(self):
+        # Scaling a window's contrast must not change packed responses.
+        rng = np.random.default_rng(3)
+        w = rng.uniform(0, 255, (1, 24, 24))
+        w_scaled = (w - w.mean()) * 3.0 + w.mean()
+        a, _ = pack_windows(w)
+        b, _ = pack_windows(w_scaled)
+        # differences of integral entries (feature responses) match
+        diff_a = a[100, 0] - a[50, 0]
+        diff_b = b[100, 0] - b[50, 0]
+        assert diff_a == pytest.approx(diff_b, rel=1e-6, abs=1e-4)
+
+
+class TestTrainingSet:
+    def test_from_windows_labels(self):
+        faces = np.random.default_rng(0).uniform(0, 255, (4, 24, 24))
+        bgs = np.random.default_rng(1).uniform(0, 255, (6, 24, 24))
+        ts = TrainingSet.from_windows(faces, bgs)
+        assert ts.n_faces == 4
+        assert ts.n_backgrounds == 6
+        assert ts.n_samples == 10
+
+    def test_replace_negatives_keeps_faces(self):
+        faces = np.random.default_rng(0).uniform(0, 255, (4, 24, 24))
+        bgs = np.random.default_rng(1).uniform(0, 255, (6, 24, 24))
+        ts = TrainingSet.from_windows(faces, bgs)
+        new_bgs = np.random.default_rng(2).uniform(0, 255, (3, 24, 24))
+        ts2 = ts.replace_negatives(new_bgs)
+        assert ts2.n_faces == 4
+        assert ts2.n_backgrounds == 3
+        np.testing.assert_array_equal(ts2.data[:, :4], ts.data[:, :4])
+
+    def test_rejects_empty(self):
+        with pytest.raises(TrainingError):
+            TrainingSet.from_windows(np.zeros((0, 24, 24)), np.zeros((3, 24, 24)))
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(TrainingError):
+            TrainingSet(
+                data=np.zeros((PACKED_ROWS, 2)),
+                labels=np.array([0, 1], dtype=np.int8),
+                sigmas=np.ones(2),
+            )
+
+    def test_rejects_inconsistent_shapes(self):
+        with pytest.raises(TrainingError):
+            TrainingSet(
+                data=np.zeros((PACKED_ROWS, 3)),
+                labels=np.array([1, -1], dtype=np.int8),
+                sigmas=np.ones(2),
+            )
+
+
+class TestBuildTrainingSet:
+    def test_sizes(self):
+        ts = build_training_set(20, 30, seed=0)
+        assert ts.n_faces == 20
+        assert ts.n_backgrounds == 30
+
+    def test_deterministic(self):
+        a = build_training_set(10, 10, seed=5)
+        b = build_training_set(10, 10, seed=5)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_seeds_differ(self):
+        a = build_training_set(10, 10, seed=5)
+        b = build_training_set(10, 10, seed=6)
+        assert not np.array_equal(a.data, b.data)
+
+    def test_rejects_zero(self):
+        with pytest.raises(TrainingError):
+            build_training_set(0, 5)

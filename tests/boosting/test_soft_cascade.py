@@ -1,0 +1,139 @@
+"""Tests for soft cascades (calibration, evaluation, serialisation)."""
+
+import numpy as np
+import pytest
+
+from repro.boosting.soft_cascade import (
+    SoftCascade,
+    calibrate_soft_cascade,
+    evaluate_soft_cascade_on_windows,
+)
+from repro.data.backgrounds import render_background, sample_patches
+from repro.data.faces import render_training_chip
+from repro.errors import CascadeFormatError, TrainingError
+from repro.utils.rng import rng_for
+from repro.zoo import quick_cascade
+
+
+@pytest.fixture(scope="module")
+def cascade():
+    return quick_cascade(seed=0)
+
+
+@pytest.fixture(scope="module")
+def faces():
+    rng = rng_for(0, "soft-faces")
+    return np.stack([render_training_chip(rng, 24) for _ in range(140)])
+
+
+@pytest.fixture(scope="module")
+def soft(cascade, faces):
+    return calibrate_soft_cascade(cascade, faces, miss_budget=0.03)
+
+
+@pytest.fixture(scope="module")
+def negatives():
+    rng = rng_for(1, "soft-negs")
+    bg = render_background(220, 220, rng)
+    return sample_patches(bg, 24, 300, rng)
+
+
+class TestCalibration:
+    def test_chain_flattens_all_stages(self, cascade, soft):
+        assert soft.length == cascade.num_weak_classifiers
+
+    def test_miss_budget_respected_on_calibration_set(self, soft, faces):
+        exit_pos, _ = evaluate_soft_cascade_on_windows(soft, faces)
+        survived = np.mean(exit_pos == soft.length)
+        assert survived >= 1.0 - 0.03 - 0.01
+
+    def test_trace_monotone_enough_to_reject_negatives(self, soft, negatives):
+        exit_pos, _ = evaluate_soft_cascade_on_windows(soft, negatives)
+        # negatives die early: far fewer classifiers than the chain length
+        assert exit_pos.mean() < soft.length * 0.25
+
+    def test_soft_cheaper_than_staged_on_negatives(self, cascade, soft, negatives):
+        from repro.boosting.cascade_trainer import evaluate_cascade_on_windows
+
+        depth, _ = evaluate_cascade_on_windows(cascade, negatives)
+        sizes = np.array(cascade.stage_sizes())
+        cum = np.concatenate([[0], np.cumsum(sizes)])
+        staged_work = cum[np.minimum(depth + 1, cascade.num_stages)].mean()
+        soft_exit, _ = evaluate_soft_cascade_on_windows(soft, negatives)
+        assert soft_exit.mean() <= staged_work
+
+    def test_zero_budget_keeps_all_faces(self, cascade, faces):
+        soft0 = calibrate_soft_cascade(cascade, faces, miss_budget=0.0)
+        exit_pos, _ = evaluate_soft_cascade_on_windows(soft0, faces)
+        assert np.all(exit_pos == soft0.length)
+
+    def test_rejects_bad_budget(self, cascade, faces):
+        with pytest.raises(TrainingError):
+            calibrate_soft_cascade(cascade, faces, miss_budget=0.7)
+
+    def test_rejects_too_few_faces(self, cascade):
+        with pytest.raises(TrainingError):
+            calibrate_soft_cascade(cascade, np.zeros((2, 24, 24)))
+
+
+class TestContainer:
+    def test_json_roundtrip(self, soft, tmp_path):
+        path = tmp_path / "soft.json"
+        soft.save(path)
+        loaded = SoftCascade.load(path)
+        assert loaded == soft
+
+    def test_trace_length_validated(self, soft):
+        with pytest.raises(CascadeFormatError):
+            SoftCascade(classifiers=soft.classifiers, rejection_trace=(0.0,))
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("nope")
+        with pytest.raises(CascadeFormatError):
+            SoftCascade.load(path)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(CascadeFormatError):
+            SoftCascade(classifiers=(), rejection_trace=())
+
+
+class TestSoftKernel:
+    def test_matches_window_oracle(self, soft):
+        from repro.detect.soft_kernel import soft_cascade_eval_kernel
+
+        rng = rng_for(2, "soft-kernel")
+        img = render_background(56, 72, rng)
+        result = soft_cascade_eval_kernel(img, soft, stream=1)
+        ys = np.array([0, 7, 19, 30])
+        xs = np.array([0, 11, 33, 44])
+        wins = np.stack([img[y : y + 24, x : x + 24] for y, x in zip(ys, xs)])
+        oracle_exit, _ = evaluate_soft_cascade_on_windows(soft, wins)
+        np.testing.assert_array_equal(result.exit_map[ys, xs], oracle_exit)
+
+    def test_exit_map_bounds(self, soft):
+        from repro.detect.soft_kernel import soft_cascade_eval_kernel
+
+        rng = rng_for(3, "soft-kernel")
+        img = render_background(48, 48, rng)
+        result = soft_cascade_eval_kernel(img, soft, stream=1)
+        assert result.exit_map.min() >= 1
+        assert result.exit_map.max() <= soft.length
+
+    def test_launch_valid(self, soft):
+        from repro.detect.soft_kernel import soft_cascade_eval_kernel
+        from repro.gpusim.device import GTX470
+
+        rng = rng_for(4, "soft-kernel")
+        img = render_background(48, 64, rng)
+        result = soft_cascade_eval_kernel(img, soft, stream=2)
+        result.launch.validate(GTX470)
+        assert result.launch.stream == 2
+
+    def test_mean_classifiers_metric(self, soft):
+        from repro.detect.soft_kernel import soft_cascade_eval_kernel
+
+        rng = rng_for(5, "soft-kernel")
+        img = render_background(48, 48, rng)
+        result = soft_cascade_eval_kernel(img, soft, stream=1)
+        assert 1.0 <= result.mean_classifiers_per_window <= soft.length

@@ -1,0 +1,161 @@
+"""Tests for binned stump fitting against the exact sort-based oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.boosting.stumps import (
+    fit_classification_stumps,
+    fit_regression_stumps,
+    fit_stump_exact,
+    quantize_responses,
+)
+from repro.errors import TrainingError
+
+
+def stump_error(r, w, z, theta, left, right):
+    pred = np.where(r <= theta, left, right)
+    return float(np.sum(w * (z - pred) ** 2))
+
+
+class TestQuantize:
+    def test_bin_indices_in_range(self):
+        r = np.random.default_rng(0).normal(size=(5, 100))
+        binned = quantize_responses(r, 16)
+        assert binned.bins.max() < 16
+        assert binned.bins.dtype == np.uint8
+
+    def test_many_bins_uses_uint16(self):
+        r = np.random.default_rng(0).normal(size=(2, 50))
+        assert quantize_responses(r, 1024).bins.dtype == np.uint16
+
+    def test_monotone_binning(self):
+        r = np.array([[0.0, 1.0, 2.0, 3.0, 10.0]])
+        binned = quantize_responses(r, 8)
+        assert list(binned.bins[0]) == sorted(binned.bins[0])
+
+    def test_threshold_value_brackets_bin(self):
+        r = np.array([np.linspace(0, 64, 65)])
+        binned = quantize_responses(r, 64)
+        theta = binned.threshold_value(0, 10)
+        assert 0 < theta < 64
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(TrainingError):
+            quantize_responses(np.zeros((2, 3)), 1)
+
+    def test_rejects_1d(self):
+        with pytest.raises(TrainingError):
+            quantize_responses(np.zeros(5), 8)
+
+
+class TestRegressionStumps:
+    def test_perfectly_separable(self):
+        r = np.array([np.concatenate([np.zeros(50), np.ones(50) * 10])])
+        z = np.concatenate([-np.ones(50), np.ones(50)])
+        w = np.full(100, 0.01)
+        fits = fit_regression_stumps(quantize_responses(r, 32), w, z)
+        assert fits.errors[0] == pytest.approx(0.0, abs=1e-9)
+        assert fits.lefts[0] == pytest.approx(-1.0)
+        assert fits.rights[0] == pytest.approx(1.0)
+        assert 0 < fits.thresholds[0] < 10
+
+    def test_picks_most_discriminative_feature(self):
+        rng = np.random.default_rng(1)
+        z = np.sign(rng.normal(size=200))
+        noise = rng.normal(size=(3, 200))
+        signal = z * 5 + rng.normal(size=200) * 0.1
+        r = np.vstack([noise[0], signal, noise[1]])
+        fits = fit_regression_stumps(quantize_responses(r, 64), np.full(200, 1 / 200), z)
+        assert fits.best() == 1
+
+    def test_close_to_exact_oracle(self):
+        rng = np.random.default_rng(2)
+        r = rng.normal(size=(1, 300))
+        z = np.sign(r[0] + rng.normal(size=300) * 0.5)
+        w = rng.uniform(0.1, 1.0, 300)
+        w /= w.sum()
+        binned_fit = fit_regression_stumps(quantize_responses(r, 256), w, z)
+        theta_e, left_e, right_e, err_e = fit_stump_exact(r[0], w, z)
+        # binned error within a small margin of the exact optimum
+        assert binned_fit.errors[0] <= err_e + 0.02 * abs(err_e) + 1e-3
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_error_formula_consistent(self, seed):
+        rng = np.random.default_rng(seed)
+        r = rng.normal(size=(1, 80))
+        z = np.sign(rng.normal(size=80))
+        w = rng.uniform(0.0, 1.0, 80)
+        fits = fit_regression_stumps(quantize_responses(r, 32), w, z)
+        recomputed = stump_error(
+            r[0], w, z, fits.thresholds[0], fits.lefts[0], fits.rights[0]
+        )
+        # the reported error must equal the loss of the reported stump
+        assert fits.errors[0] == pytest.approx(recomputed, rel=1e-6, abs=1e-9)
+
+    def test_rejects_negative_weights(self):
+        r = np.zeros((1, 4))
+        with pytest.raises(TrainingError):
+            fit_regression_stumps(
+                quantize_responses(r, 4), np.array([1, -1, 1, 1.0]), np.ones(4)
+            )
+
+    def test_rejects_mismatched_sizes(self):
+        r = np.zeros((1, 4))
+        with pytest.raises(TrainingError):
+            fit_regression_stumps(quantize_responses(r, 4), np.ones(3), np.ones(4))
+
+
+class TestClassificationStumps:
+    def test_perfect_split(self):
+        r = np.array([np.concatenate([np.zeros(10), np.ones(10) * 5])])
+        y = np.concatenate([-np.ones(10), np.ones(10)])
+        fits = fit_classification_stumps(quantize_responses(r, 16), np.full(20, 0.05), y)
+        assert fits.errors[0] == pytest.approx(0.0, abs=1e-12)
+        assert fits.lefts[0] == -1.0 and fits.rights[0] == 1.0
+
+    def test_inverted_polarity_found(self):
+        r = np.array([np.concatenate([np.ones(10) * 5, np.zeros(10)])])
+        y = np.concatenate([-np.ones(10), np.ones(10)])
+        fits = fit_classification_stumps(quantize_responses(r, 16), np.full(20, 0.05), y)
+        assert fits.errors[0] == pytest.approx(0.0, abs=1e-12)
+        assert fits.lefts[0] == 1.0 and fits.rights[0] == -1.0
+
+    def test_votes_are_unit(self):
+        rng = np.random.default_rng(3)
+        r = rng.normal(size=(4, 60))
+        y = np.sign(rng.normal(size=60))
+        fits = fit_classification_stumps(quantize_responses(r, 16), np.full(60, 1 / 60), y)
+        assert set(np.unique(fits.lefts)) <= {-1.0, 1.0}
+        assert np.all(fits.lefts == -fits.rights)
+
+    def test_rejects_non_pm1_labels(self):
+        r = np.zeros((1, 4))
+        with pytest.raises(TrainingError):
+            fit_classification_stumps(quantize_responses(r, 4), np.ones(4), np.array([0, 1, 1, 1.0]))
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_error_at_most_half_total_weight(self, seed):
+        rng = np.random.default_rng(seed)
+        r = rng.normal(size=(2, 50))
+        y = np.sign(rng.normal(size=50))
+        y[y == 0] = 1.0
+        w = rng.uniform(0.01, 1.0, 50)
+        fits = fit_classification_stumps(quantize_responses(r, 32), w, y)
+        # searching both polarities guarantees error <= half the mass
+        assert np.all(fits.errors <= w.sum() / 2 + 1e-9)
+
+
+class TestExactOracle:
+    def test_constant_targets(self):
+        r = np.array([1.0, 2.0, 3.0])
+        theta, left, right, err = fit_stump_exact(r, np.ones(3), np.ones(3))
+        assert err == pytest.approx(0.0, abs=1e-12)
+
+    def test_identical_responses_degenerate(self):
+        r = np.ones(5)
+        z = np.array([1.0, -1, 1, -1, 1])
+        theta, left, right, err = fit_stump_exact(r, np.ones(5), z)
+        assert left == pytest.approx(right)

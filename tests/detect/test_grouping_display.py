@@ -1,0 +1,135 @@
+"""Tests for detection grouping (S_eyes) and the display kernel."""
+
+import numpy as np
+import pytest
+
+from repro.detect.display import display_launch, draw_detections
+from repro.detect.grouping import (
+    RawDetection,
+    group_detections,
+    predicted_eyes,
+    s_eyes_between,
+)
+from repro.errors import ConfigurationError, EvaluationError
+
+
+def det(x, y, size, score=1.0):
+    return RawDetection(x=x, y=y, size=size, score=score)
+
+
+class TestPredictedEyes:
+    def test_canonical_positions(self):
+        (lx, ly), (rx, ry) = predicted_eyes(det(0, 0, 100))
+        assert (lx, ly) == (33.0, 40.0)
+        assert (rx, ry) == (67.0, 40.0)
+
+    def test_translation_equivariant(self):
+        a = predicted_eyes(det(0, 0, 50))
+        b = predicted_eyes(det(10, 20, 50))
+        assert b[0] == (a[0][0] + 10, a[0][1] + 20)
+
+
+class TestSEyes:
+    def test_identical_windows_zero(self):
+        d = det(5, 5, 40)
+        assert s_eyes_between(d, d) == 0.0
+
+    def test_symmetric(self):
+        a, b = det(0, 0, 40), det(6, 3, 44)
+        assert s_eyes_between(a, b) == pytest.approx(s_eyes_between(b, a))
+
+    def test_far_windows_large(self):
+        assert s_eyes_between(det(0, 0, 40), det(200, 200, 40)) > 5.0
+
+    def test_small_shift_below_half(self):
+        # a 2px shift of a 48px window is well within the overlap threshold
+        assert s_eyes_between(det(0, 0, 48), det(2, 0, 48)) < 0.5
+
+
+class TestGrouping:
+    def test_empty(self):
+        assert group_detections([]) == []
+
+    def test_single_passthrough(self):
+        out = group_detections([det(3, 4, 30, 2.0)])
+        assert len(out) == 1
+        assert out[0].score == 2.0
+
+    def test_overlapping_cluster_merges(self):
+        cluster = [det(50 + dx, 50 + dy, 40, 1.0) for dx in (-1, 0, 1) for dy in (-1, 0, 1)]
+        out = group_detections(cluster)
+        assert len(out) == 1
+        assert out[0].score == pytest.approx(9.0)
+        assert abs(out[0].x - 50) < 1.5
+
+    def test_distant_detections_kept_apart(self):
+        out = group_detections([det(0, 0, 30), det(200, 0, 30)])
+        assert len(out) == 2
+
+    def test_merge_is_score_weighted(self):
+        out = group_detections([det(10, 10, 40, 9.0), det(12, 10, 40, 1.0)])
+        assert len(out) == 1
+        assert out[0].x == pytest.approx(10.2, abs=0.01)
+
+    def test_two_clusters_plus_outlier(self):
+        dets = (
+            [det(30 + d, 30, 36, 1.0) for d in range(3)]
+            + [det(150 + d, 90, 48, 1.0) for d in range(3)]
+            + [det(260, 20, 30, 0.5)]
+        )
+        out = group_detections(dets)
+        assert len(out) == 3
+
+    def test_sorted_by_score_desc(self):
+        out = group_detections(
+            [det(0, 0, 30, 1.0), det(100, 100, 30, 5.0), det(200, 0, 30, 3.0)]
+        )
+        scores = [d.score for d in out]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(EvaluationError):
+            group_detections([det(0, 0, 30)], threshold=0.0)
+
+    def test_rejects_bad_detection(self):
+        with pytest.raises(EvaluationError):
+            RawDetection(x=0, y=0, size=0, score=1.0)
+
+
+class TestDisplay:
+    def test_gray_to_rgb(self):
+        frame = np.full((40, 60), 100.0)
+        out = draw_detections(frame, [])
+        assert out.shape == (40, 60, 3)
+        assert out.dtype == np.uint8
+
+    def test_rectangle_drawn(self):
+        frame = np.zeros((50, 50))
+        out = draw_detections(frame, [det(10, 10, 20)])
+        assert tuple(out[10, 15]) == (0, 220, 60)  # top edge
+        assert tuple(out[29, 15]) == (0, 220, 60)  # bottom edge
+        assert tuple(out[15, 10]) == (0, 220, 60)  # left edge
+        assert tuple(out[25, 25]) != (0, 220, 60)  # interior untouched
+
+    def test_out_of_frame_clipped(self):
+        frame = np.zeros((30, 30))
+        out = draw_detections(frame, [det(25, 25, 40)])
+        assert out.shape == (30, 30, 3)
+
+    def test_rgb_input_preserved_shape(self):
+        frame = np.zeros((20, 20, 3))
+        assert draw_detections(frame, []).shape == (20, 20, 3)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            draw_detections(np.zeros((4, 4, 7)), [])
+
+    def test_launch_model(self):
+        launch = display_launch(640, 360, 5, stream=3)
+        assert launch.stream == 3
+        assert launch.config.grid_blocks == 40 * 23
+        assert launch.tag == "display"
+
+    def test_launch_rejects_negative_detections(self):
+        with pytest.raises(ConfigurationError):
+            display_launch(64, 64, -1, stream=0)

@@ -1,0 +1,161 @@
+"""End-to-end tests for the pipeline and the FaceDetector API.
+
+These use the cached ``quick`` cascade (trained on first run) and small
+synthetic scenes, asserting the paper's *behavioural* properties: planted
+faces found, serial/concurrent functional equivalence, concurrency speedup,
+attentional rejection, and constant-memory enforcement.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Detection, FaceDetector
+from repro.detect.pipeline import FaceDetectionPipeline, PipelineConfig
+from repro.errors import ConfigurationError
+from repro.gpusim.scheduler import ExecutionMode
+from repro.image.pyramid import PyramidConfig
+from repro.utils.rng import rng_for
+from repro.video.h264 import encode_video
+from repro.video.synthesis import render_scene
+from repro.video.trailer import synthesize_trailer
+from repro.zoo import quick_cascade
+
+
+@pytest.fixture(scope="module")
+def cascade():
+    return quick_cascade(seed=0)
+
+
+@pytest.fixture(scope="module")
+def detector(cascade):
+    return FaceDetector(cascade)
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return render_scene(
+        320, 240, faces=2, rng=rng_for(42, "pipeline-scene"), min_face=30, max_face=70
+    )
+
+
+class TestPipeline:
+    def test_levels_match_pyramid(self, cascade, scene):
+        pipe = FaceDetectionPipeline(cascade)
+        result = pipe.process_frame(scene[0])
+        assert len(result.levels) == len(result.kernel_results)
+        assert result.levels[0].scale == 1.0
+
+    def test_detection_time_positive(self, cascade, scene):
+        result = FaceDetectionPipeline(cascade).process_frame(scene[0])
+        assert result.detection_time_s > 0
+
+    def test_serial_and_concurrent_same_functional_output(self, cascade, scene):
+        pipe = FaceDetectionPipeline(cascade)
+        ser = pipe.process_frame(scene[0], mode=ExecutionMode.SERIAL)
+        con = pipe.process_frame(scene[0], mode=ExecutionMode.CONCURRENT)
+        assert len(ser.raw_detections) == len(con.raw_detections)
+        for a, b in zip(ser.raw_detections, con.raw_detections):
+            assert a == b
+        for ka, kb in zip(ser.kernel_results, con.kernel_results):
+            np.testing.assert_array_equal(ka.depth_map, kb.depth_map)
+
+    def test_concurrent_faster_than_serial(self, cascade, scene):
+        pipe = FaceDetectionPipeline(cascade)
+        ser = pipe.process_frame(scene[0], mode=ExecutionMode.SERIAL)
+        con = pipe.process_frame(scene[0], mode=ExecutionMode.CONCURRENT)
+        assert con.detection_time_s < ser.detection_time_s
+
+    def test_stage_busy_seconds_tags(self, cascade, scene):
+        result = FaceDetectionPipeline(cascade).process_frame(scene[0])
+        busy = result.stage_busy_seconds()
+        assert {"cascade", "integral", "display"} <= set(busy)
+        assert busy["cascade"] > 0
+
+    def test_cascade_dominates_pipeline_time(self, cascade, scene):
+        # Section VI-A: integral kernels are ~20 % of frame time, the
+        # cascade evaluation dominates.
+        busy = FaceDetectionPipeline(cascade).process_frame(scene[0]).stage_busy_seconds()
+        assert busy["cascade"] > busy["integral"]
+
+    def test_rejection_matrix_shape(self, cascade, scene):
+        pipe = FaceDetectionPipeline(cascade)
+        result = pipe.process_frame(scene[0])
+        matrix = result.rejection_matrix(pipe.cascade.num_stages)
+        assert matrix.shape == (len(result.levels), pipe.cascade.num_stages + 1)
+
+    def test_most_windows_rejected_at_first_stage(self, cascade, scene):
+        # The attentional property behind Fig. 7.
+        pipe = FaceDetectionPipeline(cascade)
+        result = pipe.process_frame(scene[0])
+        matrix = result.rejection_matrix(pipe.cascade.num_stages)
+        total = matrix.sum()
+        assert matrix[:, 0].sum() / total > 0.7
+
+    def test_quantised_cascade_exposed(self, cascade):
+        pipe = FaceDetectionPipeline(cascade)
+        assert pipe.cascade.num_weak_classifiers == cascade.num_weak_classifiers
+        assert pipe.constant_memory.used > 0
+
+    def test_custom_pyramid_config(self, cascade, scene):
+        config = PipelineConfig(pyramid=PyramidConfig(scale_factor=1.5))
+        result = FaceDetectionPipeline(cascade, config=config).process_frame(scene[0])
+        default = FaceDetectionPipeline(cascade).process_frame(scene[0])
+        assert len(result.levels) < len(default.levels)
+
+
+class TestFaceDetector:
+    def test_finds_planted_faces(self, detector):
+        found = 0
+        total = 0
+        for s in range(6):
+            frame, truth = render_scene(
+                320, 240, faces=2, rng=rng_for(100 + s, "demo"), min_face=28, max_face=80
+            )
+            result = detector.detect(frame)
+            total += len(truth)
+            for t in truth:
+                cx, cy = t.center
+                if any(
+                    abs(d.center[0] - cx) < t.size * 0.35
+                    and abs(d.center[1] - cy) < t.size * 0.35
+                    and 0.55 < d.size / t.size < 1.8
+                    for d in result.detections
+                ):
+                    found += 1
+        assert found / total >= 0.6
+
+    def test_no_detections_on_flat_image(self, detector):
+        result = detector.detect(np.full((120, 160), 128.0))
+        assert result.detections == []
+
+    def test_detection_fields(self, detector, scene):
+        result = detector.detect(scene[0])
+        for d in result.detections:
+            assert isinstance(d, Detection)
+            assert d.size > 0
+            assert d.left_eye[0] < d.right_eye[0]
+
+    def test_grouping_reduces_raw(self, detector, scene):
+        result = detector.detect(scene[0])
+        assert len(result.detections) <= max(result.raw_count, 1)
+
+    def test_detect_video_runs(self, detector):
+        frames, _ = synthesize_trailer("50/50", 96, 72, 4, seed=5)
+        stream = encode_video(list(frames), gop=4)
+        outputs = list(detector.detect_video(stream))
+        assert len(outputs) == 4
+        decoded, result = outputs[0]
+        assert decoded.latency_s > 0
+        assert result.detection_time_s > 0
+
+    def test_pretrained_unknown_profile(self):
+        with pytest.raises(ConfigurationError):
+            FaceDetector.pretrained("resnet")
+
+    def test_rejects_bad_group_threshold(self, cascade):
+        with pytest.raises(ConfigurationError):
+            FaceDetector(cascade, group_threshold=0.0)
+
+    def test_uint8_input_accepted(self, detector, scene):
+        result = detector.detect(scene[0].astype(np.uint8))
+        assert result.raw_count >= 0

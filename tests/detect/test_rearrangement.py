@@ -1,0 +1,86 @@
+"""Tests for the thread-rearrangement strategy model (Herout et al.)."""
+
+import numpy as np
+import pytest
+
+from repro.detect.kernels import cascade_eval_kernel
+from repro.detect.rearrangement import default_stage_batches, rearrangement_launches
+from repro.errors import ConfigurationError
+from repro.gpusim.device import GTX470
+from repro.utils.rng import rng_for
+from repro.video.synthesis import render_scene
+from repro.zoo import quick_cascade
+
+
+@pytest.fixture(scope="module")
+def workload():
+    cascade = quick_cascade(seed=0)
+    frame, _ = render_scene(200, 150, faces=1, rng=rng_for(0, "rearr"), min_face=40)
+    result = cascade_eval_kernel(frame, cascade, stream=1)
+    return cascade, result
+
+
+class TestStageBatches:
+    def test_covers_all_stages_once(self):
+        batches = default_stage_batches(12)
+        flat = [s for b in batches for s in b]
+        assert flat == list(range(12))
+
+    def test_geometric_growth(self):
+        batches = default_stage_batches(25)
+        sizes = [len(b) for b in batches]
+        assert sizes[0] == 1
+        assert max(sizes) <= 8
+        # non-decreasing apart from the final remainder batch
+        assert sizes[:-1] == sorted(sizes[:-1])
+
+    def test_single_stage(self):
+        assert default_stage_batches(1) == [[0]]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            default_stage_batches(0)
+
+
+class TestRearrangementLaunches:
+    def test_launch_sequence_structure(self, workload):
+        cascade, result = workload
+        launches = rearrangement_launches(cascade, result, stream=2)
+        tags = {l.tag for l in launches}
+        assert "cascade" in tags
+        assert "compaction" in tags
+        assert all(l.stream == 2 for l in launches)
+
+    def test_relaunch_grids_shrink_with_survivors(self, workload):
+        cascade, result = workload
+        launches = [
+            l for l in rearrangement_launches(cascade, result, stream=1)
+            if l.tag == "cascade"
+        ]
+        grids = [l.config.grid_blocks for l in launches]
+        assert grids == sorted(grids, reverse=True)
+        assert grids[0] > grids[-1]
+
+    def test_launches_validate_on_device(self, workload):
+        cascade, result = workload
+        for launch in rearrangement_launches(cascade, result, stream=1):
+            launch.validate(GTX470)
+
+    def test_near_zero_divergence(self, workload):
+        cascade, result = workload
+        launches = rearrangement_launches(cascade, result, stream=1)
+        for l in launches:
+            if l.tag == "cascade":
+                assert l.work.divergent_branches.sum() < 0.01 * l.work.branches.sum()
+
+    def test_all_rejected_degenerate(self, workload):
+        import copy
+
+        cascade, result = workload
+        # a depth map where nothing survives stage 0 (copy: fixture shared)
+        fake = copy.copy(result)
+        fake.depth_map = np.zeros_like(result.depth_map)
+        launches = rearrangement_launches(cascade, fake, stream=1)
+        # still one batch over all anchors (stage 0 must run for everything)
+        cascades = [l for l in launches if l.tag == "cascade"]
+        assert len(cascades) == 1

@@ -1,0 +1,104 @@
+"""Tests for the Eq. 1-4 block/window decomposition."""
+
+import pytest
+
+from repro.detect.windows import BlockMapping, staging_addresses
+from repro.errors import ConfigurationError
+
+
+class TestStagingAddresses:
+    def test_four_transfers(self):
+        assert len(staging_addresses(0, 0, 0, 0, 16, 16)) == 4
+
+    def test_equations_exact(self):
+        # Eq. 1-4 with alpha = i*n + x, beta = j*m + y
+        n, m = 16, 16
+        x, y, i, j = 3, 5, 2, 1
+        alpha, beta = i * n + x, j * m + y
+        transfers = staging_addresses(x, y, i, j, n, m)
+        assert transfers[0] == ((x, y), (alpha, beta))
+        assert transfers[1] == ((x + n, y), (alpha + n, beta))
+        assert transfers[2] == ((x, y + m), (alpha, beta + m))
+        assert transfers[3] == ((x + n, y + m), (alpha + n, beta + m))
+
+    def test_block_covers_2n_x_2m_tile(self):
+        # The union of all threads' shared-memory targets tiles 2n x 2m.
+        n = m = 4
+        covered = set()
+        for x in range(n):
+            for y in range(m):
+                for shared, _ in staging_addresses(x, y, 0, 0, n, m):
+                    covered.add(shared)
+        assert covered == {(a, b) for a in range(2 * n) for b in range(2 * m)}
+
+    def test_neighbouring_blocks_share_three_quarters(self):
+        # "3 of them will be of memory regions meant to be explored by
+        # contiguous blocks": the extra 3 quadrants belong to blocks
+        # (i+1, j), (i, j+1), (i+1, j+1).
+        n = m = 8
+        own = {
+            coords
+            for x in range(n)
+            for y in range(m)
+            for _, coords in staging_addresses(x, y, 0, 0, n, m)
+        }
+        next_block_origin = {coords for _, coords in staging_addresses(0, 0, 1, 0, n, m)}
+        assert (n, 0) in {c for c in own}  # block (1,0)'s origin staged by block (0,0)
+        assert next_block_origin & own
+
+    def test_rejects_thread_outside_block(self):
+        with pytest.raises(ConfigurationError):
+            staging_addresses(16, 0, 0, 0, 16, 16)
+
+
+class TestBlockMapping:
+    def test_anchor_counts(self):
+        m = BlockMapping(level_width=100, level_height=60)
+        assert m.anchors_x == 77
+        assert m.anchors_y == 37
+
+    def test_grid_covers_all_anchors(self):
+        m = BlockMapping(level_width=100, level_height=60)
+        assert m.blocks_x * m.block_w >= m.anchors_x
+        assert m.blocks_y * m.block_h >= m.anchors_y
+
+    def test_grid_blocks(self):
+        m = BlockMapping(level_width=100, level_height=60)
+        assert m.grid_blocks == m.blocks_x * m.blocks_y == 5 * 3
+
+    def test_threads_per_block(self):
+        assert BlockMapping(100, 60).threads_per_block == 256
+
+    def test_shared_tile_accounts_window_halo(self):
+        m = BlockMapping(100, 60)
+        assert m.shared_tile_bytes == (16 + 24) * (16 + 24) * 4
+
+    def test_staging_loads_at_least_four(self):
+        # the paper's "4 pixels per thread": 40x40 tile / 256 threads -> 7
+        m = BlockMapping(100, 60)
+        assert m.staging_loads_per_thread >= 4
+
+    def test_block_anchor_boxes_partition(self):
+        m = BlockMapping(level_width=64, level_height=50, block_w=16, block_h=16)
+        seen = set()
+        for by in range(m.blocks_y):
+            for bx in range(m.blocks_x):
+                x0, y0, x1, y1 = m.block_anchor_box(bx, by)
+                for y in range(y0, y1):
+                    for x in range(x0, x1):
+                        assert (x, y) not in seen
+                        seen.add((x, y))
+        assert len(seen) == m.anchors_x * m.anchors_y
+
+    def test_edge_blocks_clamped(self):
+        m = BlockMapping(level_width=50, level_height=50)
+        x0, y0, x1, y1 = m.block_anchor_box(m.blocks_x - 1, m.blocks_y - 1)
+        assert x1 == m.anchors_x and y1 == m.anchors_y
+
+    def test_rejects_small_level(self):
+        with pytest.raises(ConfigurationError):
+            BlockMapping(level_width=20, level_height=100)
+
+    def test_rejects_bad_block_index(self):
+        with pytest.raises(ConfigurationError):
+            BlockMapping(100, 60).block_anchor_box(99, 0)

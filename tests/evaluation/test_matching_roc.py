@@ -1,0 +1,147 @@
+"""Tests for detection/GT matching, ROC sweeps and synthetic eval sets."""
+
+import numpy as np
+import pytest
+
+from repro.detect.detector import Detection
+from repro.errors import ConfigurationError, EvaluationError
+from repro.evaluation.datasets import background_dataset, mugshot_dataset
+from repro.evaluation.matching import ScoredDetection, match_detections
+from repro.evaluation.roc import roc_curve
+from repro.video.synthesis import FaceAnnotation
+
+
+def detection(x, y, size, score=1.0):
+    return Detection(
+        x=x, y=y, size=size, score=score,
+        left_eye=(x + 0.33 * size, y + 0.40 * size),
+        right_eye=(x + 0.67 * size, y + 0.40 * size),
+    )
+
+
+def annotation(x, y, size):
+    return FaceAnnotation(
+        x=x, y=y, size=size,
+        left_eye=(x + 0.33 * size, y + 0.40 * size),
+        right_eye=(x + 0.67 * size, y + 0.40 * size),
+    )
+
+
+class TestMatching:
+    def test_perfect_match(self):
+        result = match_detections([detection(10, 10, 40)], [annotation(10, 10, 40)])
+        assert result.tp == 1 and result.fp == 0 and result.fn == 0
+
+    def test_no_detections(self):
+        result = match_detections([], [annotation(0, 0, 30)])
+        assert result.fn == 1 and result.tp == 0
+
+    def test_no_truth(self):
+        result = match_detections([detection(0, 0, 30)], [])
+        assert result.fp == 1
+
+    def test_far_detection_is_fp_and_fn(self):
+        result = match_detections([detection(200, 200, 30)], [annotation(0, 0, 30)])
+        assert result.tp == 0 and result.fp == 1 and result.fn == 1
+
+    def test_one_to_one_despite_two_candidates(self):
+        dets = [detection(10, 10, 40), detection(12, 10, 40)]
+        result = match_detections(dets, [annotation(10, 10, 40)])
+        assert result.tp == 1 and result.fp == 1
+
+    def test_hungarian_resolves_crossing(self):
+        # det0 slightly off face1, det1 exactly on face0: the assignment
+        # must not greedily lock det0 onto face0.
+        dets = [detection(52, 50, 40), detection(10, 10, 40)]
+        truth = [annotation(10, 10, 40), annotation(50, 50, 40)]
+        result = match_detections(dets, truth)
+        assert result.tp == 2
+
+    def test_scored_labels(self):
+        dets = [detection(10, 10, 40, score=7.0), detection(300, 10, 40, score=2.0)]
+        result = match_detections(dets, [annotation(10, 10, 40)])
+        scored = result.scored(dets)
+        assert scored[0].matched and scored[0].score == 7.0
+        assert not scored[1].matched
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(EvaluationError):
+            match_detections([], [], threshold=0.0)
+
+
+class TestRocCurve:
+    def samples(self):
+        return [
+            ScoredDetection(score=9.0, matched=True, distance=0.1),
+            ScoredDetection(score=8.0, matched=True, distance=0.2),
+            ScoredDetection(score=7.0, matched=False, distance=np.inf),
+            ScoredDetection(score=5.0, matched=True, distance=0.3),
+            ScoredDetection(score=2.0, matched=False, distance=np.inf),
+        ]
+
+    def test_curve_monotone(self):
+        curve = roc_curve(self.samples(), n_faces=4)
+        assert list(curve.tpr) == sorted(curve.tpr)
+        assert list(curve.fp) == sorted(curve.fp)
+
+    def test_endpoint_totals(self):
+        curve = roc_curve(self.samples(), n_faces=4)
+        assert curve.tpr[-1] == pytest.approx(3 / 4)
+        assert curve.fp[-1] == 2
+
+    def test_tpr_at_fp(self):
+        curve = roc_curve(self.samples(), n_faces=4)
+        assert curve.tpr_at_fp(0) == pytest.approx(2 / 4)
+        assert curve.tpr_at_fp(10) == pytest.approx(3 / 4)
+
+    def test_auc_normalised_bounded(self):
+        curve = roc_curve(self.samples(), n_faces=4)
+        assert 0.0 <= curve.auc_normalised(5) <= 1.0
+
+    def test_better_detector_higher_auc(self):
+        good = [ScoredDetection(9 - i, True, 0.1) for i in range(4)] + [
+            ScoredDetection(1.0, False, np.inf)
+        ]
+        bad = [ScoredDetection(9 - i, i % 2 == 0, 0.1) for i in range(4)]
+        assert roc_curve(good, 4).auc_normalised(3) > roc_curve(bad, 4).auc_normalised(3)
+
+    def test_empty_samples(self):
+        curve = roc_curve([], n_faces=3)
+        assert curve.tpr_at_fp(100) == 0.0
+
+    def test_rejects_zero_faces(self):
+        with pytest.raises(EvaluationError):
+            roc_curve([], n_faces=0)
+
+    def test_rejects_bad_auc_bound(self):
+        with pytest.raises(EvaluationError):
+            roc_curve(self.samples(), 4).auc_normalised(0)
+
+
+class TestDatasets:
+    def test_mugshots_have_one_face(self):
+        for sample in mugshot_dataset(4, seed=1):
+            assert len(sample.truth) == 1
+            assert sample.image.shape == (192, 192)
+
+    def test_mugshot_face_large_and_centred(self):
+        for sample in mugshot_dataset(4, seed=2):
+            t = sample.truth[0]
+            assert t.size >= 0.4 * 192
+            cx, cy = t.center
+            assert abs(cx - 96) < 40 and abs(cy - 96) < 40
+
+    def test_backgrounds_faceless(self):
+        for sample in background_dataset(3, seed=3):
+            assert sample.truth == []
+
+    def test_deterministic(self):
+        a = mugshot_dataset(2, seed=9)
+        b = mugshot_dataset(2, seed=9)
+        np.testing.assert_array_equal(a[0].image, b[0].image)
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ConfigurationError):
+            mugshot_dataset(0)
+        with pytest.raises(ConfigurationError):
+            background_dataset(0)

@@ -1,0 +1,118 @@
+"""Tests for S metrics and the from-scratch Hungarian algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.errors import EvaluationError
+from repro.evaluation.hungarian import hungarian
+from repro.evaluation.metrics import s_eyes, s_square
+
+
+class TestSSquare:
+    def test_identical_boxes(self):
+        assert s_square((0, 0, 10, 10), (0, 0, 10, 10)) == 1.0
+
+    def test_disjoint_boxes(self):
+        assert s_square((0, 0, 10, 10), (20, 20, 5, 5)) == 0.0
+
+    def test_half_overlap(self):
+        # two 10x10 boxes shifted by 5: inter 50, union 150
+        assert s_square((0, 0, 10, 10), (5, 0, 10, 10)) == pytest.approx(1 / 3)
+
+    def test_symmetric(self):
+        a, b = (0, 0, 8, 12), (3, 2, 10, 6)
+        assert s_square(a, b) == pytest.approx(s_square(b, a))
+
+    def test_containment(self):
+        assert s_square((0, 0, 10, 10), (2, 2, 5, 5)) == pytest.approx(25 / 100)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(EvaluationError):
+            s_square((0, 0, 0, 10), (0, 0, 10, 10))
+
+    @given(
+        st.floats(-50, 50), st.floats(-50, 50), st.floats(1, 30), st.floats(1, 30),
+        st.floats(-50, 50), st.floats(-50, 50), st.floats(1, 30), st.floats(1, 30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_zero_one(self, ax, ay, aw, ah, bx, by, bw, bh):
+        s = s_square((ax, ay, aw, ah), (bx, by, bw, bh))
+        assert 0.0 <= s <= 1.0 + 1e-12
+
+
+class TestSEyes:
+    def test_perfect_prediction_zero(self):
+        assert s_eyes((10, 10), (20, 10), (10, 10), (20, 10)) == 0.0
+
+    def test_uniform_shift(self):
+        # both eyes off by 1px with inter-ocular distance 10 -> 0.2
+        assert s_eyes((11, 10), (21, 10), (10, 10), (20, 10)) == pytest.approx(0.2)
+
+    def test_uses_smaller_eye_distance(self):
+        # predicted eyes 20 apart, truth 10 apart: denominator is 10
+        value = s_eyes((0, 0), (20, 0), (0, 1), (10, 1))
+        assert value == pytest.approx((1 + np.hypot(10, 1)) / 10)
+
+    def test_rejects_degenerate_eyes(self):
+        with pytest.raises(EvaluationError):
+            s_eyes((5, 5), (5, 5), (5, 5), (5, 5))
+
+
+class TestHungarian:
+    def test_identity_optimal(self):
+        cost = np.array([[1.0, 10.0], [10.0, 1.0]])
+        pairs, total = hungarian(cost)
+        assert pairs == [(0, 0), (1, 1)]
+        assert total == 2.0
+
+    def test_cross_assignment(self):
+        cost = np.array([[10.0, 1.0], [1.0, 10.0]])
+        pairs, total = hungarian(cost)
+        assert pairs == [(0, 1), (1, 0)]
+        assert total == 2.0
+
+    def test_rectangular_more_cols(self):
+        cost = np.array([[5.0, 1.0, 9.0]])
+        pairs, total = hungarian(cost)
+        assert pairs == [(0, 1)]
+        assert total == 1.0
+
+    def test_rectangular_more_rows(self):
+        cost = np.array([[5.0], [1.0], [9.0]])
+        pairs, total = hungarian(cost)
+        assert pairs == [(1, 0)]
+        assert total == 1.0
+
+    def test_empty(self):
+        pairs, total = hungarian(np.zeros((0, 3)))
+        assert pairs == [] and total == 0.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(EvaluationError):
+            hungarian(np.array([[np.nan, 1.0]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(EvaluationError):
+            hungarian(np.ones(4))
+
+    @given(st.integers(0, 10**6), st.integers(1, 8), st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_scipy_total_cost(self, seed, n, m):
+        rng = np.random.default_rng(seed)
+        cost = rng.uniform(0, 100, (n, m))
+        _, total = hungarian(cost)
+        rows, cols = linear_sum_assignment(cost)
+        assert total == pytest.approx(float(cost[rows, cols].sum()), rel=1e-9)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_assignment_is_a_matching(self, seed):
+        rng = np.random.default_rng(seed)
+        cost = rng.uniform(0, 10, (5, 7))
+        pairs, _ = hungarian(cost)
+        rows = [r for r, _ in pairs]
+        cols = [c for _, c in pairs]
+        assert len(set(rows)) == len(rows) == 5
+        assert len(set(cols)) == len(cols)

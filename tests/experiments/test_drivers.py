@@ -1,0 +1,111 @@
+"""Smoke + shape tests for the experiment drivers on a micro profile.
+
+The benchmarks run the paper-scale (quick/full) workloads; these tests run
+the same drivers at the smallest sizes that still exercise every code path,
+so `pytest tests/` stays fast while covering the experiment layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import QUICK, ExperimentProfile, active_profile
+from repro.errors import ConfigurationError
+from repro.experiments.table1 import run_table1
+
+
+MICRO = ExperimentProfile(
+    name="micro",
+    frame_width=256,
+    frame_height=144,
+    frames_per_trailer=1,
+    fig5_frames=2,
+    fig7_frames=1,
+    fig8_pool_size=600,
+    fig8_dataset_faces=80,
+    fig9_mugshots=3,
+    fig9_backgrounds=2,
+)
+
+
+class TestConfig:
+    def test_active_profile_default_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert active_profile() is QUICK
+
+    def test_active_profile_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "full")
+        assert active_profile().name == "full"
+
+    def test_unknown_profile_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "gigantic")
+        with pytest.raises(ConfigurationError):
+            active_profile()
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentProfile(
+                name="bad", frame_width=10, frame_height=10, frames_per_trailer=1,
+                fig5_frames=1, fig7_frames=1, fig8_pool_size=1,
+                fig8_dataset_faces=1, fig9_mugshots=1, fig9_backgrounds=1,
+            )
+
+
+class TestTable1Driver:
+    def test_exact_match(self):
+        result = run_table1()
+        assert result.matches_paper
+        assert "55660" in result.format_table().replace(",", "")
+
+    def test_total(self):
+        assert run_table1().total == 103_607
+
+
+@pytest.mark.slow
+class TestHeavyDrivers:
+    """Micro-profile runs of the workload drivers (need cached cascades)."""
+
+    def test_fig6_overlap(self):
+        from repro.experiments.fig6 import run_fig6
+
+        result = run_fig6(MICRO)
+        assert result.serial_overlaps == 0
+        assert result.concurrent.makespan_s < result.serial.makespan_s
+        assert "stream" in result.format_trace()
+
+    def test_fig7_rejections(self):
+        from repro.experiments.fig7 import run_fig7
+
+        result = run_fig7(MICRO)
+        rates = result.rejection_rate_by_stage
+        assert rates.sum() == pytest.approx(1.0)
+        assert rates[0] > 0.5
+
+    def test_fig8_curves(self):
+        from repro.experiments.fig8 import run_fig8
+
+        result = run_fig8(MICRO)
+        assert set(result.curves) == {
+            "Intel Core i7-2600K", "Dual Intel Xeon E5472",
+        }
+        for curve in result.curves.values():
+            assert curve[8] < curve[1]
+        assert "threads" in result.format_table()
+
+    def test_ablation_window_strategy(self):
+        from repro.experiments.ablations import run_window_strategy
+
+        result = run_window_strategy(MICRO)
+        assert result.collapse_ratio < 1.0
+
+    def test_ablation_integral_paths(self):
+        from repro.experiments.ablations import run_integral_paths
+
+        result = run_integral_paths()
+        assert len(result.rows) == 3
+
+    def test_ablation_encoding(self):
+        from repro.experiments.ablations import run_encoding_ablation
+
+        result = run_encoding_ablation(n_windows=40)
+        assert result.fits_packed and not result.fits_raw
+        assert 0.9 <= result.depth_agreement <= 1.0

@@ -1,0 +1,103 @@
+"""Tests for device specifications."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpusim.device import (
+    GTX470,
+    XEON_HOST_DUAL_E5472,
+    XEON_HOST_I7_2600K,
+    DeviceSpec,
+    HostSpec,
+)
+
+
+class TestGTX470Preset:
+    def test_matches_paper_testbed_sm_count(self):
+        assert GTX470.sm_count == 14
+
+    def test_total_cuda_cores(self):
+        assert GTX470.sm_count * GTX470.cores_per_sm == 448
+
+    def test_warp_size(self):
+        assert GTX470.warp_size == 32
+
+    def test_fermi_residency_limits(self):
+        assert GTX470.max_warps_per_sm == 48
+        assert GTX470.max_blocks_per_sm == 8
+        assert GTX470.max_threads_per_sm == 1536
+
+    def test_constant_memory_is_64k(self):
+        assert GTX470.constant_mem_bytes == 64 * 1024
+
+    def test_peak_issue_rate_positive(self):
+        # 14 SMs x 2 issue x 1.215 GHz = 34 G warp-instructions/s.
+        assert GTX470.peak_warp_issue_per_s == pytest.approx(34.02e9)
+
+    def test_dram_share_per_sm(self):
+        share = GTX470.dram_bytes_per_cycle_per_sm()
+        assert 1.0 < share < 64.0
+
+
+class TestDeviceSpecValidation:
+    def test_rejects_zero_sms(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(GTX470, sm_count=0)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(GTX470, min_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(GTX470, min_efficiency=1.5)
+
+    def test_rejects_negative_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(GTX470, dram_bandwidth_bytes=-1.0)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            GTX470.sm_count = 10  # type: ignore[misc]
+
+
+class TestHostSpecs:
+    def test_i7_is_faster_serially_than_old_xeon(self):
+        # The paper: "a newer single quad-core i7 outperformed the latter
+        # with a 2X performance improvement on average".
+        ratio = (
+            XEON_HOST_I7_2600K.relative_serial_throughput
+            / XEON_HOST_DUAL_E5472.relative_serial_throughput
+        )
+        assert ratio == pytest.approx(2.0)
+
+    def test_both_expose_eight_threads(self):
+        assert XEON_HOST_I7_2600K.max_threads == 8
+        assert XEON_HOST_DUAL_E5472.max_threads == 8
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            HostSpec("x", 4, 8, 0.3, 1.0, 0.0, 3.5)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigurationError):
+            HostSpec("x", 0, 8, 0.3, 1.0, 0.9, 3.5)
+
+    def test_effective_cores_i7(self):
+        host = XEON_HOST_I7_2600K
+        assert host.effective_cores(4) == 4.0
+        assert host.effective_cores(8) == pytest.approx(4 + 0.28 * 4)
+
+    def test_speedup_one_thread_is_one(self):
+        assert XEON_HOST_I7_2600K.parallel_speedup(1) == pytest.approx(1.0)
+
+    def test_speedup_monotone_and_capped(self):
+        host = XEON_HOST_DUAL_E5472
+        values = [host.parallel_speedup(t) for t in range(1, 9)]
+        assert values == sorted(values)
+        assert values[-1] <= host.bandwidth_cap_speedup
+
+    def test_eight_thread_speedup_near_paper(self):
+        # Paper Fig. 8: close to 3.5X on both platforms with 8 threads.
+        for host in (XEON_HOST_I7_2600K, XEON_HOST_DUAL_E5472):
+            assert 3.0 <= host.parallel_speedup(8) <= 4.0

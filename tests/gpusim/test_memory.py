@@ -1,0 +1,124 @@
+"""Tests for the memory-traffic models and constant memory arena."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryModelError
+from repro.gpusim.device import GTX470
+from repro.gpusim.memory import (
+    ConstantMemory,
+    coalesced_bytes,
+    constant_broadcast_requests,
+    shared_bank_conflict_factor,
+    strided_transactions,
+)
+
+
+class TestCoalescedBytes:
+    def test_perfect_coalescing_one_transaction(self):
+        assert coalesced_bytes(32, 4) == 128
+
+    def test_scattered_access_pays_per_thread(self):
+        assert coalesced_bytes(32, 4, contiguous=False) == 32 * 128
+
+    def test_zero_threads(self):
+        assert coalesced_bytes(0, 4) == 0
+
+    def test_rounds_up_to_transactions(self):
+        assert coalesced_bytes(33, 4) == 256
+
+    def test_rejects_negative(self):
+        with pytest.raises(MemoryModelError):
+            coalesced_bytes(-1, 4)
+
+    @given(st.integers(0, 2048), st.integers(0, 64))
+    def test_contiguous_never_exceeds_scattered(self, threads, nbytes):
+        assert coalesced_bytes(threads, nbytes) <= coalesced_bytes(
+            threads, nbytes, contiguous=False
+        )
+
+    @given(st.integers(1, 2048), st.integers(1, 64))
+    def test_at_least_useful_bytes(self, threads, nbytes):
+        assert coalesced_bytes(threads, nbytes) >= threads * nbytes
+
+
+class TestStridedTransactions:
+    def test_unit_stride_single_transaction(self):
+        assert strided_transactions(32, 4, 1) == 1
+
+    def test_large_stride_one_per_lane(self):
+        assert strided_transactions(32, 4, 1024) == 32
+
+    def test_monotone_in_stride(self):
+        values = [strided_transactions(32, 4, s) for s in (1, 2, 4, 8, 16, 32, 64)]
+        assert values == sorted(values)
+
+    def test_rejects_zero_stride(self):
+        with pytest.raises(MemoryModelError):
+            strided_transactions(32, 4, 0)
+
+
+class TestConstantBroadcast:
+    def test_uniform_access_broadcasts(self):
+        # Section III-C: constant memory broadcasts when all warp lanes read
+        # the same address, which is why the cascade lives there.
+        assert constant_broadcast_requests(True, 10) == 10
+
+    def test_divergent_access_serialises(self):
+        assert constant_broadcast_requests(False, 10) == 320
+
+    def test_rejects_negative(self):
+        with pytest.raises(MemoryModelError):
+            constant_broadcast_requests(True, -1)
+
+
+class TestBankConflicts:
+    def test_unit_stride_conflict_free(self):
+        assert shared_bank_conflict_factor(1) == 1
+
+    def test_stride_32_fully_serialised(self):
+        assert shared_bank_conflict_factor(32) == 32
+
+    def test_padded_tile_stride_33_conflict_free(self):
+        # The classic transpose-tile padding trick.
+        assert shared_bank_conflict_factor(33) == 1
+
+    def test_stride_2_two_way(self):
+        assert shared_bank_conflict_factor(2) == 2
+
+
+class TestConstantMemory:
+    def test_upload_within_capacity(self):
+        cm = ConstantMemory(GTX470)
+        offset = cm.upload(np.zeros(1000, dtype=np.float32), "cascade")
+        assert offset == 0
+        assert cm.used == 4000
+
+    def test_sequential_offsets(self):
+        cm = ConstantMemory(GTX470)
+        cm.upload(np.zeros(16, dtype=np.uint8), "a")
+        off = cm.upload(np.zeros(16, dtype=np.uint8), "b")
+        assert off == 16
+
+    def test_overflow_raises(self):
+        cm = ConstantMemory(GTX470)
+        with pytest.raises(MemoryModelError):
+            cm.upload(np.zeros(64 * 1024 + 1, dtype=np.uint8))
+
+    def test_exact_fit_allowed(self):
+        cm = ConstantMemory(GTX470)
+        cm.upload(np.zeros(64 * 1024, dtype=np.uint8))
+        assert cm.free == 0
+
+    def test_reset_frees_everything(self):
+        cm = ConstantMemory(GTX470)
+        cm.upload(np.zeros(128, dtype=np.uint8), "x")
+        cm.reset()
+        assert cm.used == 0
+        assert cm.segments() == []
+
+    def test_segments_report(self):
+        cm = ConstantMemory(GTX470)
+        cm.upload(np.zeros(8, dtype=np.uint8), "hdr")
+        assert cm.segments() == [("hdr", 0, 8)]

@@ -1,0 +1,90 @@
+"""Tests for the multi-GPU scale-parallelism model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpusim.kernel import BlockWork, KernelLaunch, LaunchConfig
+from repro.gpusim.multigpu import (
+    MultiGpuScheduler,
+    assign_levels_balanced,
+    assign_levels_round_robin,
+)
+
+
+def group(name, blocks, stream=1):
+    return [
+        KernelLaunch(
+            name=name,
+            config=LaunchConfig(grid_blocks=blocks, threads_per_block=128, regs_per_thread=16),
+            work=BlockWork.from_uniform(blocks, warp_instructions=4000, dram_bytes_read=2048),
+            stream=stream,
+        )
+    ]
+
+
+@pytest.fixture
+def levels():
+    # geometric sizes like a pyramid
+    return [group(f"lvl{i}", b) for i, b in enumerate([800, 400, 200, 100, 50, 25, 12, 6])]
+
+
+class TestAssignments:
+    def test_round_robin(self):
+        assert assign_levels_round_robin(5, 2) == [0, 1, 0, 1, 0]
+
+    def test_round_robin_validates(self):
+        with pytest.raises(ConfigurationError):
+            assign_levels_round_robin(0, 2)
+
+    def test_balanced_spreads_heaviest(self):
+        assignment = assign_levels_balanced([100.0, 90.0, 10.0, 5.0], 2)
+        assert assignment[0] != assignment[1]
+
+    def test_balanced_single_device(self):
+        assert assign_levels_balanced([1.0, 2.0], 1) == [0, 0]
+
+
+class TestMultiGpuScheduler:
+    def test_single_device_equals_flat_schedule(self, levels):
+        result = MultiGpuScheduler(1).run(levels, frame_bytes=10_000)
+        assert result.makespan_s > 0
+        assert len(result.per_device) == 1
+
+    def test_more_devices_not_slower(self, levels):
+        one = MultiGpuScheduler(1).run(levels, frame_bytes=10_000).makespan_s
+        sched = MultiGpuScheduler(4)
+        costs = sched.estimate_level_costs(levels)
+        four = sched.run(
+            levels, frame_bytes=10_000, assignment=assign_levels_balanced(costs, 4)
+        ).makespan_s
+        assert four <= one * 1.001
+
+    def test_speedup_sublinear(self, levels):
+        one = MultiGpuScheduler(1).run(levels, frame_bytes=10_000).makespan_s
+        sched = MultiGpuScheduler(4)
+        costs = sched.estimate_level_costs(levels)
+        four = sched.run(
+            levels, frame_bytes=10_000, assignment=assign_levels_balanced(costs, 4)
+        ).makespan_s
+        # scale 0 holds ~half the work: 4 GPUs cannot reach 4x
+        assert one / four < 3.0
+
+    def test_transfer_cost_included(self, levels):
+        small = MultiGpuScheduler(2).run(levels, frame_bytes=1).makespan_s
+        large = MultiGpuScheduler(2).run(levels, frame_bytes=50_000_000).makespan_s
+        assert large > small
+
+    def test_imbalance_reported(self, levels):
+        result = MultiGpuScheduler(3).run(levels, frame_bytes=1000)
+        assert result.load_imbalance >= 1.0
+
+    def test_bad_assignment_rejected(self, levels):
+        sched = MultiGpuScheduler(2)
+        with pytest.raises(ConfigurationError):
+            sched.run(levels, frame_bytes=100, assignment=[0] * (len(levels) - 1))
+        with pytest.raises(ConfigurationError):
+            sched.run(levels, frame_bytes=100, assignment=[5] * len(levels))
+
+    def test_rejects_zero_devices(self):
+        with pytest.raises(ConfigurationError):
+            MultiGpuScheduler(0)

@@ -1,0 +1,98 @@
+"""Tests for the occupancy calculator."""
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpusim.device import GTX470
+from repro.gpusim.kernel import LaunchConfig
+from repro.gpusim.occupancy import OccupancyCalculator
+
+
+@pytest.fixture
+def calc():
+    return OccupancyCalculator(GTX470)
+
+
+class TestResidencyLimits:
+    def test_small_blocks_limited_by_block_slots(self, calc):
+        res = calc.residency(LaunchConfig(grid_blocks=10, threads_per_block=32, regs_per_thread=8))
+        assert res.blocks_per_sm == 8
+        assert res.limiting_factor == "blocks"
+
+    def test_warp_limited(self, calc):
+        # 256 threads = 8 warps; 48 // 8 = 6 blocks.
+        res = calc.residency(
+            LaunchConfig(grid_blocks=10, threads_per_block=256, regs_per_thread=8)
+        )
+        assert res.blocks_per_sm == 6
+        assert res.limiting_factor == "warps"
+
+    def test_shared_memory_limited(self, calc):
+        cfg = LaunchConfig(
+            grid_blocks=10, threads_per_block=64, regs_per_thread=8,
+            shared_mem_per_block=20 * 1024,
+        )
+        res = calc.residency(cfg)
+        assert res.blocks_per_sm == 2
+        assert res.limiting_factor == "shared_memory"
+
+    def test_register_limited(self, calc):
+        cfg = LaunchConfig(grid_blocks=10, threads_per_block=512, regs_per_thread=60)
+        res = calc.residency(cfg)
+        assert res.limiting_factor == "registers"
+        assert res.blocks_per_sm == 1
+
+    def test_unlaunchable_raises(self, calc):
+        cfg = LaunchConfig(grid_blocks=1, threads_per_block=1024, regs_per_thread=60)
+        with pytest.raises(LaunchError):
+            calc.residency(cfg)
+
+    def test_warps_per_sm_consistent(self, calc):
+        cfg = LaunchConfig(grid_blocks=10, threads_per_block=192, regs_per_thread=8)
+        res = calc.residency(cfg)
+        assert res.warps_per_sm == res.blocks_per_sm * cfg.warps_per_block
+
+    def test_occupancy_fraction(self, calc):
+        cfg = LaunchConfig(grid_blocks=10, threads_per_block=256, regs_per_thread=8)
+        res = calc.residency(cfg)
+        assert res.occupancy_of(GTX470) == pytest.approx(48 / 48)
+
+
+class TestDeviceOccupancy:
+    def test_large_grid_saturates(self, calc):
+        cfg = LaunchConfig(grid_blocks=100_000, threads_per_block=256, regs_per_thread=8)
+        assert calc.device_occupancy(cfg, 100_000) == pytest.approx(1.0)
+
+    def test_tiny_grid_underutilises(self, calc):
+        # The Fig. 2 variable-window argument: one block cannot cover 14 SMs.
+        cfg = LaunchConfig(grid_blocks=1, threads_per_block=256, regs_per_thread=8)
+        occ = calc.device_occupancy(cfg, 1)
+        assert occ < 0.02
+
+    def test_monotone_in_grid_size(self, calc):
+        cfg = LaunchConfig(grid_blocks=1, threads_per_block=128, regs_per_thread=8)
+        values = [calc.device_occupancy(cfg, g) for g in (1, 4, 14, 56, 1000)]
+        assert values == sorted(values)
+
+    def test_rejects_empty_grid(self, calc):
+        cfg = LaunchConfig(grid_blocks=1, threads_per_block=128)
+        with pytest.raises(LaunchError):
+            calc.device_occupancy(cfg, 0)
+
+
+class TestLaunchConfig:
+    def test_partial_warp_rounds_up(self):
+        assert LaunchConfig(grid_blocks=1, threads_per_block=33).warps_per_block == 2
+
+    def test_validate_rejects_oversized_block(self):
+        with pytest.raises(LaunchError):
+            LaunchConfig(grid_blocks=1, threads_per_block=2048).validate(GTX470)
+
+    def test_validate_rejects_oversized_shared(self):
+        cfg = LaunchConfig(grid_blocks=1, threads_per_block=64, shared_mem_per_block=64 * 1024)
+        with pytest.raises(LaunchError):
+            cfg.validate(GTX470)
+
+    def test_validate_rejects_empty_grid(self):
+        with pytest.raises(LaunchError):
+            LaunchConfig(grid_blocks=0, threads_per_block=64).validate(GTX470)

@@ -1,0 +1,108 @@
+"""Tests for cross-stream wait dependencies (cudaStreamWaitEvent model)."""
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpusim.device import GTX470
+from repro.gpusim.kernel import BlockWork, KernelLaunch, LaunchConfig
+from repro.gpusim.scheduler import DeviceScheduler, ExecutionMode
+
+
+def launch(name, blocks, stream, waits=()):
+    return KernelLaunch(
+        name=name,
+        config=LaunchConfig(grid_blocks=blocks, threads_per_block=128, regs_per_thread=16),
+        work=BlockWork.from_uniform(blocks, warp_instructions=3000, dram_bytes_read=2048),
+        stream=stream,
+        wait_streams=tuple(waits),
+    )
+
+
+@pytest.fixture
+def sched():
+    return DeviceScheduler(GTX470)
+
+
+class TestWaitStreams:
+    def test_waiter_starts_after_watched_streams(self, sched):
+        launches = [
+            launch("a", 200, stream=1),
+            launch("b", 150, stream=2),
+            launch("display", 20, stream=3, waits=(1, 2)),
+        ]
+        result = sched.run(launches, ExecutionMode.CONCURRENT)
+        by_name = {t.name: t for t in result.timeline.traces}
+        assert by_name["display"].start_s >= by_name["a"].end_s
+        assert by_name["display"].start_s >= by_name["b"].end_s
+
+    def test_without_waits_display_overlaps(self, sched):
+        launches = [
+            launch("a", 600, stream=1),
+            launch("display", 20, stream=3),
+        ]
+        result = sched.run(launches, ExecutionMode.CONCURRENT)
+        by_name = {t.name: t for t in result.timeline.traces}
+        assert by_name["display"].start_s < by_name["a"].end_s
+
+    def test_unwatched_stream_not_blocked(self, sched):
+        launches = [
+            launch("slow", 2000, stream=1),
+            launch("other", 30, stream=2),
+            launch("dep", 30, stream=3, waits=(2,)),
+        ]
+        result = sched.run(launches, ExecutionMode.CONCURRENT)
+        by_name = {t.name: t for t in result.timeline.traces}
+        # dep waits only on stream 2, so it may finish before slow does
+        assert by_name["dep"].start_s >= by_name["other"].end_s
+        assert by_name["dep"].end_s < by_name["slow"].end_s
+
+    def test_wait_on_empty_stream_is_noop(self, sched):
+        launches = [launch("a", 40, stream=1, waits=(9,))]
+        result = sched.run(launches, ExecutionMode.CONCURRENT)
+        assert result.timeline.traces[0].blocks == 40
+
+    def test_only_earlier_launches_block(self, sched):
+        # the wait is an event recorded at issue time: launches issued into
+        # the watched stream *later* do not block the waiter
+        launches = [
+            launch("early", 30, stream=1),
+            launch("waiter", 30, stream=2, waits=(1,)),
+            launch("late", 2000, stream=1),
+        ]
+        result = sched.run(launches, ExecutionMode.CONCURRENT)
+        by_name = {t.name: t for t in result.timeline.traces}
+        assert by_name["waiter"].start_s >= by_name["early"].end_s
+        assert by_name["waiter"].end_s < by_name["late"].end_s
+
+    def test_serial_mode_ignores_waits(self, sched):
+        launches = [
+            launch("a", 30, stream=1),
+            launch("b", 30, stream=2, waits=(1,)),
+        ]
+        result = sched.run(launches, ExecutionMode.SERIAL)
+        traces = sorted(result.timeline.traces, key=lambda t: t.start_s)
+        assert traces[0].end_s <= traces[1].start_s + 1e-12
+
+    def test_chain_of_waits(self, sched):
+        launches = [
+            launch("a", 50, stream=1),
+            launch("b", 50, stream=2, waits=(1,)),
+            launch("c", 50, stream=3, waits=(2,)),
+        ]
+        result = sched.run(launches, ExecutionMode.CONCURRENT)
+        by_name = {t.name: t for t in result.timeline.traces}
+        assert by_name["b"].start_s >= by_name["a"].end_s
+        assert by_name["c"].start_s >= by_name["b"].end_s
+
+    def test_negative_wait_stream_rejected(self):
+        with pytest.raises(LaunchError):
+            launch("x", 10, stream=1, waits=(-1,)).validate(GTX470)
+
+    def test_conservation_with_waits(self, sched):
+        launches = [
+            launch("a", 77, stream=1),
+            launch("b", 33, stream=2, waits=(1,)),
+            launch("c", 11, stream=3, waits=(1, 2)),
+        ]
+        result = sched.run(launches, ExecutionMode.CONCURRENT)
+        assert result.total.blocks == 77 + 33 + 11

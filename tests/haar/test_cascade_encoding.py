@@ -1,0 +1,189 @@
+"""Tests for cascade containers, serialisation, and the 16-bit encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CascadeFormatError
+from repro.gpusim.device import GTX470
+from repro.haar.cascade import Cascade, Stage, WeakClassifier
+from repro.haar.encoding import (
+    decode_cascade,
+    encode_cascade,
+    pack_geometry,
+    raw_cascade_bytes,
+    unpack_geometry,
+)
+from repro.haar.enumeration import subsampled_feature_pool
+from repro.haar.features import FeatureType, HaarFeature
+from repro.haar.opencv_like import (
+    OPENCV_FRONTAL_STAGE_SIZES,
+    paper_stage_sizes,
+    scale_profile,
+)
+from repro.utils.rng import rng_for
+
+
+def random_cascade(stage_sizes, seed=0, name="test"):
+    rng = rng_for(seed, "random-cascade")
+    pool = subsampled_feature_pool(sum(stage_sizes) + 10, seed=seed)
+    stages = []
+    k = 0
+    for size in stage_sizes:
+        classifiers = []
+        for _ in range(size):
+            f = pool[k % len(pool)]
+            k += 1
+            classifiers.append(
+                WeakClassifier(
+                    feature=f,
+                    threshold=float(rng.normal(0, 50)),
+                    left=float(rng.normal(-0.5, 0.2)),
+                    right=float(rng.normal(0.5, 0.2)),
+                )
+            )
+        stages.append(Stage(classifiers=tuple(classifiers), threshold=float(rng.normal(0, 1))))
+    return Cascade(stages=tuple(stages), name=name)
+
+
+class TestStageProfiles:
+    def test_opencv_profile_totals_2913(self):
+        assert sum(OPENCV_FRONTAL_STAGE_SIZES) == 2913
+        assert len(OPENCV_FRONTAL_STAGE_SIZES) == 25
+
+    def test_paper_profile_totals_1446(self):
+        sizes = paper_stage_sizes()
+        assert sum(sizes) == 1446
+        assert len(sizes) == 25
+
+    def test_paper_profile_preserves_shape(self):
+        sizes = paper_stage_sizes()
+        # early stages small, late stages large
+        assert sizes[0] < sizes[5] < sizes[-1]
+        assert sizes[0] <= 5
+
+    def test_scale_profile_exact_total(self):
+        for total in (25, 100, 1446, 2913, 5000):
+            assert sum(scale_profile(OPENCV_FRONTAL_STAGE_SIZES, total)) == total
+
+    def test_scale_profile_floor_one(self):
+        sizes = scale_profile(OPENCV_FRONTAL_STAGE_SIZES, 25)
+        assert all(s >= 1 for s in sizes)
+
+    def test_scale_profile_rejects_too_small(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            scale_profile(OPENCV_FRONTAL_STAGE_SIZES, 10)
+
+
+class TestCascadeContainer:
+    def test_counts(self):
+        c = random_cascade([2, 3, 4])
+        assert c.num_stages == 3
+        assert c.num_weak_classifiers == 9
+        assert c.stage_sizes() == [2, 3, 4]
+
+    def test_truncated(self):
+        c = random_cascade([2, 3, 4])
+        t = c.truncated(2)
+        assert t.num_stages == 2
+        assert t.num_weak_classifiers == 5
+
+    def test_truncated_bounds(self):
+        c = random_cascade([2, 3])
+        with pytest.raises(CascadeFormatError):
+            c.truncated(0)
+        with pytest.raises(CascadeFormatError):
+            c.truncated(3)
+
+    def test_empty_stage_rejected(self):
+        with pytest.raises(CascadeFormatError):
+            Stage(classifiers=(), threshold=0.0)
+
+    def test_empty_cascade_rejected(self):
+        with pytest.raises(CascadeFormatError):
+            Cascade(stages=())
+
+    def test_json_roundtrip(self, tmp_path):
+        c = random_cascade([3, 5, 2], seed=4)
+        path = tmp_path / "cascade.json"
+        c.save(path)
+        loaded = Cascade.load(path)
+        assert loaded == c
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json {")
+        with pytest.raises(CascadeFormatError):
+            Cascade.load(path)
+
+    def test_from_dict_rejects_wrong_version(self):
+        data = random_cascade([1]).to_dict()
+        data["format_version"] = 99
+        with pytest.raises(CascadeFormatError):
+            Cascade.from_dict(data)
+
+    def test_from_dict_rejects_missing_fields(self):
+        with pytest.raises(CascadeFormatError):
+            Cascade.from_dict({"format_version": 1})
+
+
+class TestGeometryPacking:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_random_features(self, seed):
+        pool = subsampled_feature_pool(50, seed=0)
+        f = pool[seed % len(pool)]
+        assert unpack_geometry(*pack_geometry(f)) == f
+
+    def test_words_are_16bit(self):
+        f = HaarFeature(FeatureType.EDGE_V, 1, 22, 11, 1)
+        w0, w1 = pack_geometry(f)
+        assert 0 <= w0 < 65536 and 0 <= w1 < 65536
+
+    def test_invalid_type_code_rejected(self):
+        with pytest.raises(CascadeFormatError):
+            unpack_geometry(0x7, 0x21)
+
+
+class TestEncodedCascade:
+    def test_roundtrip_geometry_exact(self):
+        c = random_cascade([4, 6], seed=9)
+        decoded = decode_cascade(encode_cascade(c))
+        for s_orig, s_dec in zip(c.stages, decoded.stages):
+            for a, b in zip(s_orig.classifiers, s_dec.classifiers):
+                assert a.feature == b.feature
+
+    def test_roundtrip_values_quantised_close(self):
+        c = random_cascade([4, 6], seed=9)
+        decoded = decode_cascade(encode_cascade(c))
+        for s_orig, s_dec in zip(c.stages, decoded.stages):
+            assert s_dec.threshold == pytest.approx(s_orig.threshold, abs=1e-3)
+            for a, b in zip(s_orig.classifiers, s_dec.classifiers):
+                assert b.threshold == pytest.approx(a.threshold, abs=0.02)
+                assert b.left == pytest.approx(a.left, abs=1e-3)
+
+    def test_opencv_sized_cascade_fits_packed_not_raw(self):
+        # The point of Section III-C: 2913 classifiers exceed 64 KiB raw
+        # but fit once packed.
+        c = random_cascade(OPENCV_FRONTAL_STAGE_SIZES, seed=1, name="opencv-like")
+        enc = encode_cascade(c)
+        assert enc.fits(GTX470)
+        assert raw_cascade_bytes(c) > GTX470.constant_mem_bytes
+
+    def test_paper_cascade_fits(self):
+        c = random_cascade(paper_stage_sizes(), seed=2, name="ours")
+        assert encode_cascade(c).fits(GTX470)
+
+    def test_encoded_size_is_ten_bytes_per_classifier_plus_tables(self):
+        c = random_cascade([10, 10], seed=3)
+        enc = encode_cascade(c)
+        # 2x u16 geometry + 3x i16 values = 10 B per classifier
+        assert enc.nbytes == 20 * 10 + 2 * (2 + 2) + 12
+
+    def test_stage_structure_preserved(self):
+        c = random_cascade([3, 1, 7], seed=5)
+        enc = encode_cascade(c)
+        assert list(enc.stage_lengths) == [3, 1, 7]
+        decoded = decode_cascade(enc)
+        assert decoded.stage_sizes() == [3, 1, 7]

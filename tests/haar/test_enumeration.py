@@ -1,0 +1,83 @@
+"""Tests for Table I feature enumeration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.haar.enumeration import (
+    TABLE1_EXPECTED,
+    axis_slots,
+    enumerate_features,
+    feature_count,
+    full_feature_pool,
+    subsampled_feature_pool,
+    table1_counts,
+)
+from repro.haar.features import FeatureType
+
+
+class TestTableI:
+    def test_counts_match_paper_exactly(self):
+        assert table1_counts() == TABLE1_EXPECTED
+
+    def test_total_pool_size(self):
+        assert len(full_feature_pool()) == sum(TABLE1_EXPECTED.values()) == 103_607
+
+    def test_edge_orientations_symmetric(self):
+        assert feature_count(FeatureType.EDGE_H) == feature_count(FeatureType.EDGE_V)
+
+    def test_line_orientations_symmetric(self):
+        assert feature_count(FeatureType.LINE_H) == feature_count(FeatureType.LINE_V)
+
+    def test_axis_slot_counts(self):
+        # The factorisation behind Table I: 253 / 110 / 63 slots per axis.
+        assert len(axis_slots(1)) == 253
+        assert len(axis_slots(2)) == 110
+        assert len(axis_slots(3)) == 63
+
+    def test_enumeration_matches_closed_form(self):
+        for t in FeatureType:
+            assert sum(1 for _ in enumerate_features(t)) == feature_count(t)
+
+    def test_all_enumerated_features_valid(self):
+        # HaarFeature.__post_init__ validates bounds; enumeration must never
+        # produce an out-of-window feature.
+        for t in FeatureType:
+            for f in enumerate_features(t):
+                assert f.x + f.width <= 24
+                assert f.y + f.height <= 24
+
+    def test_no_duplicates(self):
+        pool = full_feature_pool()
+        assert len(set(pool)) == len(pool)
+
+    def test_axis_slots_rejects_bad_sections(self):
+        with pytest.raises(ConfigurationError):
+            axis_slots(0)
+
+
+class TestSubsampledPool:
+    def test_requested_size_approximate(self):
+        pool = subsampled_feature_pool(2000, seed=1)
+        assert 1900 <= len(pool) <= 2100
+
+    def test_deterministic(self):
+        a = subsampled_feature_pool(500, seed=7)
+        b = subsampled_feature_pool(500, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert subsampled_feature_pool(500, seed=1) != subsampled_feature_pool(500, seed=2)
+
+    def test_all_families_represented(self):
+        pool = subsampled_feature_pool(400, seed=3)
+        types = {f.ftype for f in pool}
+        assert FeatureType.CENTER_SURROUND in types
+        assert FeatureType.DIAGONAL in types
+        assert types & {FeatureType.EDGE_H, FeatureType.EDGE_V}
+
+    def test_oversized_request_returns_full_pool(self):
+        assert len(subsampled_feature_pool(10**9)) == 103_607
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            subsampled_feature_pool(0)

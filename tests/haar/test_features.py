@@ -1,0 +1,134 @@
+"""Tests for Haar feature definitions and evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.haar.features import (
+    WINDOW,
+    FeatureType,
+    HaarFeature,
+    feature_projection,
+    feature_rects,
+    feature_values_at,
+    feature_values_grid,
+    memory_accesses,
+)
+from repro.image.integral import integral_image
+
+
+def brute_force_value(img, feature):
+    """Reference: sum weighted rectangles directly over pixels."""
+    total = 0.0
+    for r in feature_rects(feature):
+        total += r.weight * img[r.y : r.y + r.h, r.x : r.x + r.w].sum()
+    return total
+
+
+FEATURES = [
+    HaarFeature(FeatureType.EDGE_H, 2, 3, 5, 4),
+    HaarFeature(FeatureType.EDGE_V, 1, 1, 6, 10),
+    HaarFeature(FeatureType.LINE_H, 4, 2, 7, 3),
+    HaarFeature(FeatureType.LINE_V, 2, 5, 4, 9),
+    HaarFeature(FeatureType.CENTER_SURROUND, 3, 3, 4, 5),
+    HaarFeature(FeatureType.DIAGONAL, 5, 6, 6, 7),
+]
+
+
+class TestFeatureGeometry:
+    @pytest.mark.parametrize("feature", FEATURES, ids=lambda f: f.ftype.value)
+    def test_rects_inside_bounding_box(self, feature):
+        for r in feature_rects(feature):
+            assert r.x >= feature.x and r.y >= feature.y
+            assert r.x + r.w <= feature.x + feature.width
+            assert r.y + r.h <= feature.y + feature.height
+
+    @pytest.mark.parametrize("feature", FEATURES, ids=lambda f: f.ftype.value)
+    def test_zero_mean_on_constant_image(self, feature):
+        img = np.full((WINDOW, WINDOW), 37.0)
+        assert brute_force_value(img, feature) == pytest.approx(0.0, abs=1e-6)
+
+    def test_rect_counts_per_family(self):
+        assert len(feature_rects(FEATURES[0])) == 2  # edge
+        assert len(feature_rects(FEATURES[2])) == 3  # line
+        assert len(feature_rects(FEATURES[4])) == 2  # center-surround
+        assert len(feature_rects(FEATURES[5])) == 4  # diagonal
+
+    def test_memory_accesses_match_paper(self):
+        # Section III-C: 18 accesses for 2-rectangle, 27 for 3-rectangle.
+        assert memory_accesses(FEATURES[0]) == 18
+        assert memory_accesses(FEATURES[2]) == 27
+
+    def test_rejects_out_of_window(self):
+        with pytest.raises(ConfigurationError):
+            HaarFeature(FeatureType.EDGE_H, 20, 20, 5, 5)
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ConfigurationError):
+            HaarFeature(FeatureType.EDGE_H, 0, 0, 0, 2)
+
+    def test_bounding_dims(self):
+        f = HaarFeature(FeatureType.LINE_V, 0, 0, 3, 5)
+        assert f.width == 9 and f.height == 5
+
+
+class TestGridEvaluation:
+    @pytest.fixture
+    def scene(self):
+        rng = np.random.default_rng(11)
+        img = rng.uniform(0, 255, (40, 50))
+        return img, integral_image(img)
+
+    @pytest.mark.parametrize("feature", FEATURES, ids=lambda f: f.ftype.value)
+    def test_grid_matches_brute_force(self, scene, feature):
+        img, ii = scene
+        grid = feature_values_grid(ii, feature)
+        assert grid.shape == (40 - WINDOW + 1, 50 - WINDOW + 1)
+        for y, x in [(0, 0), (3, 7), (16, 26)]:
+            window = img[y : y + WINDOW, x : x + WINDOW]
+            assert grid[y, x] == pytest.approx(brute_force_value(window, feature))
+
+    @pytest.mark.parametrize("feature", FEATURES[:3], ids=lambda f: f.ftype.value)
+    def test_sparse_matches_grid(self, scene, feature):
+        _, ii = scene
+        grid = feature_values_grid(ii, feature)
+        ys = np.array([0, 5, 11, 16])
+        xs = np.array([0, 9, 3, 26])
+        sparse = feature_values_at(ii, feature, ys, xs)
+        np.testing.assert_allclose(sparse, grid[ys, xs])
+
+    def test_too_small_image_raises(self):
+        ii = integral_image(np.ones((10, 10)))
+        with pytest.raises(ConfigurationError):
+            feature_values_grid(ii, FEATURES[0])
+
+
+class TestFeatureProjection:
+    @pytest.mark.parametrize("feature", FEATURES, ids=lambda f: f.ftype.value)
+    def test_projection_matches_direct_evaluation(self, feature):
+        rng = np.random.default_rng(5)
+        img = rng.uniform(0, 255, (WINDOW, WINDOW))
+        ii = integral_image(img)
+        indices, coeffs = feature_projection(feature)
+        projected = float(coeffs @ ii.ravel()[indices])
+        assert projected == pytest.approx(brute_force_value(img, feature))
+
+    def test_projection_is_compact(self):
+        # Corner sharing between adjacent rectangles must be merged.
+        f = HaarFeature(FeatureType.EDGE_H, 2, 3, 5, 4)
+        indices, coeffs = feature_projection(f)
+        assert len(indices) <= 8  # 2 rects x 4 corners, shared edge merged
+        assert len(indices) == len(coeffs)
+        assert np.all(indices[:-1] < indices[1:])
+
+    @given(st.sampled_from(FEATURES), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_projection_property(self, feature, seed):
+        rng = np.random.default_rng(seed)
+        img = rng.uniform(0, 255, (WINDOW, WINDOW))
+        ii = integral_image(img)
+        indices, coeffs = feature_projection(feature)
+        assert float(coeffs @ ii.ravel()[indices]) == pytest.approx(
+            brute_force_value(img, feature), rel=1e-9, abs=1e-6
+        )

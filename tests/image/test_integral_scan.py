@@ -1,0 +1,162 @@
+"""Tests for prefix sums, transposes and integral images."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ConfigurationError
+from repro.image.integral import (
+    integral_image,
+    integral_image_gpu_path,
+    integral_image_sequential,
+    integral_launches,
+    rect_sum,
+    squared_integral_image,
+)
+from repro.image.scan import blelloch_block_scan, inclusive_scan_rows, scan_row_launches
+from repro.image.transpose import tiled_transpose, transpose_launch
+
+
+class TestBlellochScan:
+    def test_matches_cumsum_small(self):
+        data = np.arange(10.0)
+        np.testing.assert_allclose(blelloch_block_scan(data, 4), np.cumsum(data))
+
+    def test_single_element(self):
+        np.testing.assert_allclose(blelloch_block_scan(np.array([7.0])), [7.0])
+
+    def test_empty(self):
+        assert blelloch_block_scan(np.zeros(0)).size == 0
+
+    def test_exact_block_multiple(self):
+        data = np.ones(512)
+        np.testing.assert_allclose(blelloch_block_scan(data, 128), np.arange(1, 513))
+
+    def test_multi_level_recursion(self):
+        # Forces block sums of block sums: n >> 2*block^2
+        data = np.ones(300)
+        np.testing.assert_allclose(blelloch_block_scan(data, 4), np.arange(1, 301))
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ConfigurationError):
+            blelloch_block_scan(np.ones(4), 0)
+
+    @given(
+        arrays(np.float64, st.integers(1, 600), elements=st.floats(-100, 100)),
+        st.sampled_from([2, 4, 16, 128, 256]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_cumsum(self, data, block):
+        np.testing.assert_allclose(
+            blelloch_block_scan(data, block), np.cumsum(data), rtol=1e-9, atol=1e-7
+        )
+
+
+class TestRowScan:
+    def test_matches_per_row_cumsum(self):
+        rng = np.random.default_rng(0)
+        m = rng.uniform(0, 255, (7, 33))
+        np.testing.assert_allclose(inclusive_scan_rows(m), np.cumsum(m, axis=1))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ConfigurationError):
+            inclusive_scan_rows(np.ones(5))
+
+    def test_launches_structure_small_row(self):
+        launches = scan_row_launches(100, 300, stream=2)
+        assert len(launches) == 1  # single block per row: no uniform add
+        assert launches[0].stream == 2
+        assert launches[0].config.grid_blocks == 100
+
+    def test_launches_structure_wide_row(self):
+        launches = scan_row_launches(10, 4096, stream=1)
+        assert len(launches) == 2
+        assert launches[0].config.grid_blocks == 10 * 8
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            scan_row_launches(0, 10, 0)
+
+
+class TestTranspose:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        m = rng.normal(size=(50, 70))
+        np.testing.assert_array_equal(tiled_transpose(m), m.T)
+
+    def test_ragged_edges(self):
+        m = np.arange(33 * 45).reshape(33, 45)
+        np.testing.assert_array_equal(tiled_transpose(m), m.T)
+
+    def test_single_element(self):
+        np.testing.assert_array_equal(tiled_transpose(np.array([[3.0]])), [[3.0]])
+
+    @given(st.integers(1, 80), st.integers(1, 80))
+    @settings(max_examples=25, deadline=None)
+    def test_property_involution(self, h, w):
+        m = np.arange(h * w, dtype=np.float64).reshape(h, w)
+        np.testing.assert_array_equal(tiled_transpose(tiled_transpose(m)), m)
+
+    def test_launch_grid_covers_matrix(self):
+        launch = transpose_launch(100, 65, stream=0)
+        assert launch.config.grid_blocks == 4 * 3
+        assert launch.config.shared_mem_per_block == 33 * 32 * 4
+
+
+class TestIntegralImage:
+    def test_matches_sequential_reference(self):
+        rng = np.random.default_rng(2)
+        img = rng.uniform(0, 255, (13, 17))
+        np.testing.assert_allclose(integral_image(img), integral_image_sequential(img))
+
+    def test_gpu_path_matches_fast_path(self):
+        rng = np.random.default_rng(3)
+        img = rng.uniform(0, 255, (24, 40))
+        np.testing.assert_allclose(
+            integral_image_gpu_path(img, block_size=8), integral_image(img), rtol=1e-9
+        )
+
+    def test_padded_shape(self):
+        assert integral_image(np.ones((5, 7))).shape == (6, 8)
+
+    def test_zero_border(self):
+        ii = integral_image(np.ones((4, 4)))
+        assert np.all(ii[0, :] == 0) and np.all(ii[:, 0] == 0)
+
+    def test_total_sum_in_corner(self):
+        img = np.arange(12.0).reshape(3, 4)
+        assert integral_image(img)[-1, -1] == img.sum()
+
+    def test_squared_integral(self):
+        img = np.full((3, 3), 2.0)
+        sq = squared_integral_image(img)
+        assert sq[-1, -1] == pytest.approx(36.0)
+
+    @given(
+        arrays(np.float64, (10, 12), elements=st.floats(0, 255)),
+        st.integers(0, 9), st.integers(0, 7), st.integers(1, 3), st.integers(1, 3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rect_sum_matches_brute_force(self, img, x, y, w, h):
+        if x + w > 12 or y + h > 10:
+            return
+        ii = integral_image(img)
+        expected = img[y : y + h, x : x + w].sum()
+        assert rect_sum(ii, x, y, w, h) == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+    def test_rect_sum_bounds_checked(self):
+        ii = integral_image(np.ones((5, 5)))
+        with pytest.raises(ConfigurationError):
+            rect_sum(ii, 4, 4, 3, 3)
+        with pytest.raises(ConfigurationError):
+            rect_sum(ii, -1, 0, 2, 2)
+
+    def test_launch_sequence_structure(self):
+        launches = integral_launches(64, 128, stream=5)
+        names = [l.name for l in launches]
+        assert names[0].startswith("scan_")
+        assert any(n.startswith("transpose_") for n in names)
+        assert all(l.stream == 5 for l in launches)
+        # scan rows, transpose, scan rows (transposed dims), transpose back
+        assert len(launches) == 4

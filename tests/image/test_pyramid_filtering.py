@@ -1,0 +1,182 @@
+"""Tests for the pyramid scaling and anti-alias filtering stages."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.image.filtering import antialias, binomial_kernel, separable_convolve
+from repro.image.pyramid import (
+    PyramidConfig,
+    build_pyramid,
+    downscale,
+    pyramid_scales,
+    scaling_launch,
+)
+from repro.image.texture import Texture2D
+
+
+class TestBinomialKernel:
+    def test_radius_zero_identity(self):
+        np.testing.assert_allclose(binomial_kernel(0), [1.0])
+
+    def test_radius_one_classic(self):
+        np.testing.assert_allclose(binomial_kernel(1), [0.25, 0.5, 0.25])
+
+    def test_normalised(self):
+        for r in range(4):
+            assert binomial_kernel(r).sum() == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        k = binomial_kernel(3)
+        np.testing.assert_allclose(k, k[::-1])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            binomial_kernel(-1)
+
+
+class TestSeparableConvolve:
+    def test_preserves_constant_image(self):
+        img = np.full((8, 9), 7.0)
+        out = separable_convolve(img, binomial_kernel(2))
+        np.testing.assert_allclose(out, img, rtol=1e-6)
+
+    def test_preserves_mean_roughly(self):
+        rng = np.random.default_rng(0)
+        img = rng.uniform(0, 255, (32, 32)).astype(np.float32)
+        out = separable_convolve(img, binomial_kernel(1))
+        assert out.mean() == pytest.approx(img.mean(), rel=0.02)
+
+    def test_smooths_noise(self):
+        rng = np.random.default_rng(1)
+        img = rng.normal(128, 30, (64, 64)).astype(np.float32)
+        out = separable_convolve(img, binomial_kernel(2))
+        assert out.std() < img.std()
+
+    def test_rejects_even_kernel(self):
+        with pytest.raises(ConfigurationError):
+            separable_convolve(np.ones((4, 4)), np.ones(4))
+
+    def test_shape_preserved(self):
+        out = separable_convolve(np.ones((5, 9)), binomial_kernel(2))
+        assert out.shape == (5, 9)
+
+
+class TestAntialias:
+    def test_no_filter_for_tiny_scale(self):
+        img = np.random.default_rng(2).uniform(0, 255, (16, 16))
+        np.testing.assert_allclose(antialias(img, 1.1), img.astype(np.float32))
+
+    def test_filters_for_big_scale(self):
+        rng = np.random.default_rng(3)
+        img = rng.normal(128, 40, (32, 32)).astype(np.float32)
+        assert antialias(img, 3.0).std() < img.std()
+
+    def test_rejects_upscale(self):
+        with pytest.raises(ConfigurationError):
+            antialias(np.ones((8, 8)), 0.9)
+
+
+class TestPyramidScales:
+    def test_first_scale_is_one(self):
+        assert pyramid_scales(640, 360, PyramidConfig())[0] == 1.0
+
+    def test_geometric_progression(self):
+        scales = pyramid_scales(640, 360, PyramidConfig(scale_factor=1.2))
+        for a, b in zip(scales, scales[1:]):
+            assert b / a == pytest.approx(1.2)
+
+    def test_stops_at_window_size(self):
+        cfg = PyramidConfig()
+        scales = pyramid_scales(1920, 1080, cfg)
+        last = scales[-1]
+        assert int(1080 / last) >= cfg.min_image_side
+        assert int(1080 / (last * cfg.scale_factor)) < cfg.min_image_side
+
+    def test_1080p_level_count(self):
+        # 1080/24 = 45 => log_1.2(45) ~ 20.9 => 21 levels.
+        assert len(pyramid_scales(1920, 1080, PyramidConfig())) == 21
+
+    def test_too_small_frame_raises(self):
+        with pytest.raises(ConfigurationError):
+            pyramid_scales(10, 10, PyramidConfig())
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PyramidConfig(scale_factor=1.0)
+        with pytest.raises(ConfigurationError):
+            PyramidConfig(window=0)
+
+
+class TestDownscale:
+    def test_identity_when_same_size(self):
+        img = np.random.default_rng(4).uniform(0, 255, (12, 16)).astype(np.float32)
+        out = downscale(Texture2D(img), 16, 12)
+        np.testing.assert_allclose(out, img, atol=1e-4)
+
+    def test_half_size_averages_neighbourhoods(self):
+        img = np.full((8, 8), 100.0, dtype=np.float32)
+        out = downscale(Texture2D(img), 4, 4)
+        np.testing.assert_allclose(out, 100.0, atol=1e-4)
+
+    def test_output_shape(self):
+        img = np.zeros((30, 40), dtype=np.float32)
+        assert downscale(Texture2D(img), 13, 11).shape == (11, 13)
+
+    def test_rejects_empty_output(self):
+        with pytest.raises(ConfigurationError):
+            downscale(Texture2D(np.zeros((4, 4))), 0, 4)
+
+
+class TestBuildPyramid:
+    @pytest.fixture
+    def frame(self):
+        rng = np.random.default_rng(5)
+        return rng.uniform(0, 255, (120, 160)).astype(np.float32)
+
+    def test_level_zero_is_frame(self, frame):
+        levels = build_pyramid(frame)
+        np.testing.assert_array_equal(levels[0].image, frame)
+
+    def test_level_dims_match_scales(self, frame):
+        for level in build_pyramid(frame):
+            assert level.width == int(160 / level.scale)
+            assert level.height == int(120 / level.scale)
+            assert level.image.shape == (level.height, level.width)
+
+    def test_all_levels_hold_window(self, frame):
+        cfg = PyramidConfig()
+        for level in build_pyramid(frame, cfg):
+            assert min(level.width, level.height) >= cfg.window
+
+    def test_deterministic(self, frame):
+        a = build_pyramid(frame)
+        b = build_pyramid(frame)
+        for la, lb in zip(a, b):
+            np.testing.assert_array_equal(la.image, lb.image)
+
+    def test_intensity_preserved_down_pyramid(self, frame):
+        levels = build_pyramid(frame)
+        for level in levels:
+            assert level.image.mean() == pytest.approx(frame.mean(), rel=0.1)
+
+    @given(st.integers(48, 200), st.integers(48, 200))
+    @settings(max_examples=10, deadline=None)
+    def test_property_levels_shrink(self, w, h):
+        frame = np.zeros((h, w), dtype=np.float32)
+        levels = build_pyramid(frame)
+        sizes = [lv.width * lv.height for lv in levels]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestScalingLaunch:
+    def test_grid_covers_output(self):
+        launch = scaling_launch(100, 60, stream=3)
+        assert launch.config.grid_blocks == 7 * 4
+        assert launch.stream == 3
+
+    def test_work_scales_with_area(self):
+        small = scaling_launch(64, 64, stream=0)
+        large = scaling_launch(256, 256, stream=0)
+        assert large.config.grid_blocks == 16 * small.config.grid_blocks

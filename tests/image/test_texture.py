@@ -1,0 +1,89 @@
+"""Tests for texture emulation (tex2D bilinear fetches)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import MemoryModelError
+from repro.image.texture import Texture2D
+
+
+@pytest.fixture
+def ramp():
+    # 4x5 texture where texel (y, x) = 10*y + x.
+    return Texture2D(np.add.outer(10.0 * np.arange(4), np.arange(5.0)))
+
+
+class TestTexelCenters:
+    def test_fetch_at_center_exact(self, ramp):
+        assert ramp.fetch(2.5, 1.5) == pytest.approx(12.0)
+
+    def test_fetch_grid_identity(self, ramp):
+        xs = np.arange(5) + 0.5
+        ys = np.arange(4) + 0.5
+        out = ramp.fetch_grid(xs, ys)
+        np.testing.assert_allclose(out, ramp.data, rtol=1e-6)
+
+    def test_midpoint_interpolates(self, ramp):
+        # halfway between texels (0,0) and (0,1): (0 + 1)/2
+        assert ramp.fetch(1.0, 0.5) == pytest.approx(0.5)
+
+    def test_vertical_interpolation(self, ramp):
+        assert ramp.fetch(0.5, 1.0) == pytest.approx(5.0)
+
+
+class TestClampAddressing:
+    def test_clamps_left_of_texture(self, ramp):
+        assert ramp.fetch(-3.0, 0.5) == pytest.approx(0.0)
+
+    def test_clamps_beyond_right_edge(self, ramp):
+        assert ramp.fetch(100.0, 0.5) == pytest.approx(4.0)
+
+    def test_clamps_bottom(self, ramp):
+        assert ramp.fetch(0.5, 100.0) == pytest.approx(30.0)
+
+
+class TestShapes:
+    def test_scalar_returns_zero_d(self, ramp):
+        assert np.asarray(ramp.fetch(1.0, 1.0)).shape == ()
+
+    def test_array_coords(self, ramp):
+        out = ramp.fetch(np.array([0.5, 1.5]), np.array([0.5, 0.5]))
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-6)
+
+    def test_broadcasting(self, ramp):
+        out = ramp.fetch(np.arange(3)[np.newaxis, :] + 0.5, np.arange(2)[:, np.newaxis] + 0.5)
+        assert out.shape == (2, 3)
+
+    def test_incompatible_shapes_raise(self, ramp):
+        with pytest.raises(MemoryModelError):
+            ramp.fetch(np.zeros(3), np.zeros(4))
+
+    def test_data_readonly(self, ramp):
+        with pytest.raises(ValueError):
+            ramp.data[0, 0] = 99.0
+
+    def test_rejects_1d(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            Texture2D(np.zeros(5))
+
+
+class TestInterpolationProperties:
+    @given(
+        arrays(np.float32, (6, 7), elements=st.floats(0, 255, width=32)),
+        st.floats(0.5, 6.5),
+        st.floats(0.5, 5.5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_within_convex_hull(self, data, x, y):
+        tex = Texture2D(data)
+        value = float(tex.fetch(x, y))
+        assert data.min() - 1e-3 <= value <= data.max() + 1e-3
+
+    @given(arrays(np.float32, (5, 5), elements=st.floats(0, 255, width=32)))
+    @settings(max_examples=30, deadline=None)
+    def test_constant_along_flat_texture(self, data):
+        flat = Texture2D(np.full((4, 4), 42.0, dtype=np.float32))
+        assert float(flat.fetch(1.7, 2.3)) == pytest.approx(42.0, rel=1e-5)

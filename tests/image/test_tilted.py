@@ -1,0 +1,96 @@
+"""Tests for the rotated summed-area table and tilted rectangle sums."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.image.tilted import (
+    tilted_integral_image,
+    tilted_rect_pixel_count,
+    tilted_rect_sum,
+    tilted_rect_sum_brute,
+)
+
+
+@pytest.fixture(scope="module")
+def scene():
+    rng = np.random.default_rng(3)
+    img = rng.uniform(0, 255, (14, 18))
+    return img, tilted_integral_image(img)
+
+
+class TestTable:
+    def test_shape_includes_guards(self, scene):
+        img, tsat = scene
+        h, w = img.shape
+        assert tsat.shape == (h + 1, w + 2 * (h + 2))
+
+    def test_row_zero_empty(self, scene):
+        _, tsat = scene
+        assert np.all(tsat[0] == 0.0)
+
+    def test_apex_cone_is_single_pixel(self, scene):
+        img, tsat = scene
+        pad = img.shape[0] + 2
+        # cone with apex pixel (0, 3): contains just that pixel
+        assert tsat[1, 4 + pad] == pytest.approx(img[0, 3])
+
+
+class TestTiltedRectSum:
+    def test_matches_brute_force_grid(self, scene):
+        img, tsat = scene
+        for x in range(-1, 19, 3):
+            for y in range(0, 8, 2):
+                for a, b in ((1, 1), (2, 3), (3, 2)):
+                    if y + a + b > img.shape[0]:
+                        continue
+                    assert tilted_rect_sum(tsat, x, y, a, b) == pytest.approx(
+                        tilted_rect_sum_brute(img, x, y, a, b)
+                    )
+
+    @given(
+        st.integers(0, 10**6),
+        st.integers(-2, 18),
+        st.integers(0, 6),
+        st.integers(1, 4),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_brute(self, seed, x, y, a, b):
+        rng = np.random.default_rng(seed)
+        img = rng.uniform(0, 50, (12, 16))
+        if y + a + b > 12:
+            return
+        tsat = tilted_integral_image(img)
+        assert tilted_rect_sum(tsat, x, y, a, b) == pytest.approx(
+            tilted_rect_sum_brute(img, x, y, a, b), rel=1e-9, abs=1e-9
+        )
+
+    def test_pixel_count_on_ones(self):
+        ones = np.ones((16, 20))
+        tsat = tilted_integral_image(ones)
+        for x, y, a, b in ((8, 2, 2, 3), (10, 0, 4, 4), (6, 5, 3, 2)):
+            assert tilted_rect_sum(tsat, x, y, a, b) == tilted_rect_pixel_count(a, b)
+
+    def test_rejects_bad_arms(self, scene):
+        _, tsat = scene
+        with pytest.raises(ConfigurationError):
+            tilted_rect_sum(tsat, 5, 0, 0, 2)
+
+    def test_rejects_below_image(self, scene):
+        _, tsat = scene
+        with pytest.raises(ConfigurationError):
+            tilted_rect_sum(tsat, 5, 10, 3, 3)
+
+    def test_pixel_count_validation(self):
+        with pytest.raises(ConfigurationError):
+            tilted_rect_pixel_count(0, 1)
+
+    def test_additivity(self, scene):
+        # splitting a tilted rectangle along its a-axis preserves the sum
+        img, tsat = scene
+        whole = tilted_rect_sum(tsat, 8, 1, 4, 2)
+        left = tilted_rect_sum(tsat, 8, 1, 2, 2)
+        right = tilted_rect_sum(tsat, 10, 3, 2, 2)
+        assert whole == pytest.approx(left + right)

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main, read_pnm, write_ppm
+from repro.errors import ReproError
+
+
+class TestPnmIO:
+    def test_ppm_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        rgb = rng.integers(0, 255, (10, 12, 3), dtype=np.uint8)
+        path = tmp_path / "x.ppm"
+        write_ppm(path, rgb)
+        gray = read_pnm(path)
+        assert gray.shape == (10, 12)
+        expected = 0.299 * rgb[..., 0] + 0.587 * rgb[..., 1] + 0.114 * rgb[..., 2]
+        np.testing.assert_allclose(gray, expected.astype(np.float32), atol=0.5)
+
+    def test_pgm_read(self, tmp_path):
+        path = tmp_path / "x.pgm"
+        pixels = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        path.write_bytes(b"P5 4 3 255\n" + pixels.tobytes())
+        np.testing.assert_array_equal(read_pnm(path), pixels)
+
+    def test_pgm_with_comment(self, tmp_path):
+        path = tmp_path / "c.pgm"
+        path.write_bytes(b"P5\n# a comment\n2 2\n255\n" + bytes([1, 2, 3, 4]))
+        np.testing.assert_array_equal(read_pnm(path), [[1, 2], [3, 4]])
+
+    def test_rejects_ascii_pnm(self, tmp_path):
+        path = tmp_path / "a.pgm"
+        path.write_bytes(b"P2 2 2 255\n1 2 3 4")
+        with pytest.raises(ReproError):
+            read_pnm(path)
+
+
+class TestCommands:
+    def test_trailers(self, capsys):
+        assert main(["trailers"]) == 0
+        out = capsys.readouterr().out
+        assert "50/50" in out
+        assert "The Dictator" in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "GTX 470" in out
+        assert "profile" in out
+
+    def test_bench_table1(self, capsys):
+        assert main(["bench", "table1"]) == 0
+        assert "55660" in capsys.readouterr().out
+
+    def test_bench_unknown(self, capsys):
+        assert main(["bench", "fig99"]) == 2
+
+    def test_detect_demo_scene(self, capsys, tmp_path):
+        out_path = tmp_path / "annotated.ppm"
+        code = main(
+            ["detect", "--width", "192", "--height", "144", "--faces", "1",
+             "--output", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "detections" in out
+        assert out_path.exists()
+        assert read_pnm(out_path).shape == (144, 192)
+
+    def test_detect_on_pgm(self, capsys, tmp_path):
+        from repro.utils.rng import rng_for
+        from repro.video.synthesis import render_scene
+
+        frame, _ = render_scene(160, 120, faces=1, rng=rng_for(3, "cli"))
+        path = tmp_path / "scene.pgm"
+        path.write_bytes(
+            f"P5 160 120 255\n".encode() + frame.astype(np.uint8).tobytes()
+        )
+        assert main(["detect", str(path)]) == 0
+        assert "simulated GPU time" in capsys.readouterr().out
+
+    def test_train_small_cascade(self, capsys, tmp_path):
+        out_path = tmp_path / "tiny.json"
+        code = main(
+            ["train", "--output", str(out_path), "--stages", "2,3",
+             "--faces", "60", "--pool", "150", "--seed", "5"]
+        )
+        assert code == 0
+        from repro.haar.cascade import Cascade
+
+        cascade = Cascade.load(out_path)
+        assert cascade.stage_sizes() == [2, 3]

@@ -1,0 +1,45 @@
+"""Package-level tests: public API surface and metadata."""
+
+import repro
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_api(self):
+        assert hasattr(repro, "FaceDetector")
+        assert hasattr(repro, "Detection")
+        assert hasattr(repro, "DetectionResult")
+
+    def test_subpackages_importable(self):
+        import repro.boosting
+        import repro.data
+        import repro.detect
+        import repro.evaluation
+        import repro.experiments
+        import repro.gpusim
+        import repro.haar
+        import repro.image
+        import repro.video  # noqa: F401
+
+    def test_all_exports_resolve(self):
+        import repro.boosting as b
+        import repro.detect as d
+        import repro.gpusim as g
+        import repro.haar as h
+        import repro.image as i
+        import repro.video as v
+
+        for module in (b, d, g, h, i, v):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+    def test_errors_hierarchy(self):
+        from repro import errors
+
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, Exception)
+            if name != "ReproError":
+                assert issubclass(exc, errors.ReproError)

@@ -1,0 +1,166 @@
+"""Tests for the decoder model, scene synthesis and trailers."""
+
+import numpy as np
+import pytest
+
+from repro.data.faces import FaceParams
+from repro.errors import BitstreamError, ConfigurationError
+from repro.utils.rng import rng_for
+from repro.video.decoder import HardwareDecoder
+from repro.video.h264 import demux, encode_video
+from repro.video.synthesis import composite_face, render_scene
+from repro.video.trailer import TRAILERS, TrailerSpec, synthesize_trailer, trailer_frames
+
+
+@pytest.fixture(scope="module")
+def video():
+    rng = np.random.default_rng(2)
+    frames = [
+        np.clip(rng.uniform(0, 255, (36, 48)) + i, 0, 255).astype(np.float32)
+        for i in range(8)
+    ]
+    stream = encode_video(frames, gop=4, quant=2)
+    return frames, stream
+
+
+class TestHardwareDecoder:
+    def test_reconstruction_close(self, video):
+        frames, stream = video
+        decoder = HardwareDecoder(stream)
+        decoded = decoder.decode_all(demux(stream))
+        for orig, dec in zip(frames, decoded):
+            assert np.abs(dec.luma - orig).mean() < 2.5  # quantiser error only
+
+    def test_latency_in_paper_band_at_1080p(self):
+        rng = np.random.default_rng(3)
+        frames = [rng.uniform(0, 255, (1080, 1920)).astype(np.float32) for _ in range(3)]
+        stream = encode_video(frames, gop=4, quant=8)
+        decoder = HardwareDecoder(stream)
+        decoded = decoder.decode_all(demux(stream))
+        for d in decoded:
+            assert 0.008 <= d.latency_s <= 0.0125
+
+    def test_latency_scales_with_resolution(self, video):
+        _, stream = video
+        decoder = HardwareDecoder(stream)
+        decoded = decoder.decode_all(demux(stream))
+        assert all(d.latency_s < 0.003 for d in decoded)  # tiny frames decode fast
+
+    def test_p_without_reference_raises(self, video):
+        _, stream = video
+        decoder = HardwareDecoder(stream)
+        units = demux(stream)
+        with pytest.raises(BitstreamError):
+            decoder.decode(units[1])  # P slice first
+
+    def test_nv12_emitted(self, video):
+        _, stream = video
+        decoder = HardwareDecoder(stream)
+        frame = decoder.decode(demux(stream)[0])
+        assert frame.nv12.size == 48 * 36 * 3 // 2
+
+    def test_deterministic_latency_per_seed(self, video):
+        _, stream = video
+        a = HardwareDecoder(stream, seed=5).decode_all(demux(stream))
+        b = HardwareDecoder(stream, seed=5).decode_all(demux(stream))
+        assert [x.latency_s for x in a] == [x.latency_s for x in b]
+
+
+class TestSynthesis:
+    def test_scene_has_requested_faces(self):
+        rng = rng_for(0, "scene")
+        frame, truth = render_scene(320, 240, faces=3, rng=rng)
+        assert frame.shape == (240, 320)
+        assert len(truth) == 3
+
+    def test_annotations_inside_frame(self):
+        rng = rng_for(1, "scene")
+        _, truth = render_scene(320, 240, faces=4, rng=rng)
+        for t in truth:
+            assert 0 <= t.x and t.x + t.size <= 320
+            assert 0 <= t.y and t.y + t.size <= 240
+
+    def test_eye_annotations_inside_face_box(self):
+        rng = rng_for(2, "scene")
+        _, truth = render_scene(320, 240, faces=3, rng=rng)
+        for t in truth:
+            for ex, ey in (t.left_eye, t.right_eye):
+                assert t.x <= ex <= t.x + t.size
+                assert t.y <= ey <= t.y + t.size
+
+    def test_eye_distance_positive(self):
+        rng = rng_for(3, "scene")
+        _, truth = render_scene(200, 200, faces=2, rng=rng)
+        for t in truth:
+            assert t.eye_distance > 0.2 * t.size
+
+    def test_faces_darker_at_eyes_than_cheeks(self):
+        rng = rng_for(4, "scene")
+        frame, truth = render_scene(300, 300, faces=1, rng=rng, min_face=60)
+        t = truth[0]
+        ex, ey = t.left_eye
+        eye_patch = frame[int(ey) - 2 : int(ey) + 3, int(ex) - 2 : int(ex) + 3]
+        cheek_y = int(ey + 0.22 * t.size)
+        cheek_patch = frame[cheek_y - 2 : cheek_y + 3, int(ex) - 2 : int(ex) + 3]
+        assert eye_patch.mean() < cheek_patch.mean()
+
+    def test_composite_rejects_out_of_bounds(self):
+        frame = np.zeros((50, 50))
+        with pytest.raises(ConfigurationError):
+            composite_face(frame, FaceParams(), 40, 40, 24, rng_for(0, "x"))
+
+    def test_composite_rejects_tiny(self):
+        frame = np.zeros((50, 50))
+        with pytest.raises(ConfigurationError):
+            composite_face(frame, FaceParams(), 0, 0, 8, rng_for(0, "x"))
+
+
+class TestTrailers:
+    def test_ten_trailers_named(self):
+        assert len(TRAILERS) == 10
+        assert TRAILERS[1].name == "50/50"
+
+    def test_deterministic(self):
+        a, truth_a = synthesize_trailer("50/50", 96, 72, 6, seed=1)
+        b, truth_b = synthesize_trailer("50/50", 96, 72, 6, seed=1)
+        np.testing.assert_array_equal(a, b)
+        assert [[t.x for t in f] for f in truth_a] == [[t.x for t in f] for f in truth_b]
+
+    def test_scene_cuts_change_background(self):
+        spec = TrailerSpec("cuttest", 0.0, 0.2, 3, 0.4, 0.0)
+        frames, _ = synthesize_trailer(spec, 96, 72, 6, seed=2)
+        # within a scene the background is static (no faces), across the cut
+        # it changes completely
+        assert np.array_equal(frames[0], frames[1])
+        assert not np.array_equal(frames[2], frames[3])
+
+    def test_faces_move_within_scene(self):
+        spec = TrailerSpec("movetest", 3.0, 0.3, 30, 0.4, 0.01)
+        _, truth = synthesize_trailer(spec, 200, 150, 12, seed=3)
+        with_faces = [f for f in truth if f]
+        if len(with_faces) >= 2:
+            first, later = truth[0], truth[10]
+            if first and later:
+                moved = any(
+                    abs(a.x - b.x) > 0.5 for a, b in zip(first, later)
+                )
+                assert moved or all(a.x == b.x for a, b in zip(first, later))
+
+    def test_annotations_in_bounds_all_frames(self):
+        for frame, truth in trailer_frames("The Dictator", 160, 120, 8, seed=4):
+            for t in truth:
+                assert 0 <= t.x and t.x + t.size <= 160 + 1e-6
+                assert 0 <= t.y and t.y + t.size <= 120 + 1e-6
+
+    def test_unknown_trailer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(trailer_frames("Not A Movie", 96, 72, 2))
+
+    def test_density_profiles_differ(self):
+        dense = sum(
+            len(t) for _, t in trailer_frames("50/50", 240, 160, 20, seed=0)
+        )
+        sparse = sum(
+            len(t) for _, t in trailer_frames("American Reunion", 240, 160, 20, seed=0)
+        )
+        assert dense != sparse

@@ -1,0 +1,123 @@
+"""Tests for NV12 packing and the mock H.264 bitstream."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BitstreamError
+from repro.video.h264 import (
+    AccessUnit,
+    Bitstream,
+    NalType,
+    NalUnit,
+    demux,
+    encode_video,
+)
+from repro.video.nv12 import extract_luma, nv12_size, pack_nv12
+
+
+class TestNV12:
+    def test_size(self):
+        assert nv12_size(1920, 1080) == 1920 * 1080 * 3 // 2
+
+    def test_rejects_odd_dimensions(self):
+        with pytest.raises(BitstreamError):
+            nv12_size(31, 30)
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        y = rng.uniform(0, 255, (30, 40)).astype(np.float32)
+        buf = pack_nv12(y)
+        out = extract_luma(buf, 40, 30)
+        np.testing.assert_allclose(out, np.round(y), atol=0.5)
+
+    def test_chroma_flat(self):
+        buf = pack_nv12(np.zeros((4, 4)))
+        assert np.all(buf[16:] == 128)
+
+    def test_wrong_buffer_size_raises(self):
+        with pytest.raises(BitstreamError):
+            extract_luma(np.zeros(100, dtype=np.uint8), 40, 30)
+
+
+@pytest.fixture(scope="module")
+def frames():
+    rng = np.random.default_rng(1)
+    base = rng.uniform(0, 255, (36, 48)).astype(np.float32)
+    out = []
+    for i in range(10):
+        drift = base + i * 2.0 + rng.normal(0, 1.0, base.shape)
+        out.append(np.clip(drift, 0, 255).astype(np.float32))
+    return out
+
+
+class TestEncodeVideo:
+    def test_gop_structure(self, frames):
+        stream = encode_video(frames, gop=4)
+        slices = [n for n in stream.nals if n.nal_type in (NalType.IDR_SLICE, NalType.P_SLICE)]
+        types = [n.nal_type for n in slices]
+        assert types[0] == NalType.IDR_SLICE
+        assert types[4] == NalType.IDR_SLICE
+        assert types[1] == NalType.P_SLICE
+
+    def test_headers_first(self, frames):
+        stream = encode_video(frames)
+        assert stream.nals[0].nal_type == NalType.SPS
+        assert stream.nals[1].nal_type == NalType.PPS
+
+    def test_frame_count(self, frames):
+        assert encode_video(frames).n_frames == len(frames)
+
+    def test_p_frames_smaller_than_idr(self, frames):
+        stream = encode_video(frames, gop=10)
+        idr = next(n for n in stream.nals if n.nal_type == NalType.IDR_SLICE)
+        p = next(n for n in stream.nals if n.nal_type == NalType.P_SLICE)
+        assert len(p.payload) < len(idr.payload)
+
+    def test_bitrate_positive(self, frames):
+        assert encode_video(frames).bitrate() > 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(BitstreamError):
+            encode_video([])
+
+    def test_rejects_mixed_shapes(self, frames):
+        bad = frames[:2] + [np.zeros((5, 5), dtype=np.float32)]
+        with pytest.raises(BitstreamError):
+            encode_video(bad)
+
+    def test_serialize_parse_roundtrip(self, frames):
+        stream = encode_video(frames, gop=5)
+        parsed = Bitstream.parse(stream.serialize())
+        assert parsed.width == stream.width
+        assert parsed.gop == 5
+        assert len(parsed.nals) == len(stream.nals)
+        assert all(
+            a.nal_type == b.nal_type and a.payload == b.payload
+            for a, b in zip(parsed.nals, stream.nals)
+        )
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(BitstreamError):
+            Bitstream.parse(b"JUNKJUNKJUNKJUNK")
+
+
+class TestDemux:
+    def test_one_unit_per_frame(self, frames):
+        units = demux(encode_video(frames))
+        assert len(units) == len(frames)
+        assert [u.frame_index for u in units] == list(range(len(frames)))
+
+    def test_idr_flags(self, frames):
+        units = demux(encode_video(frames, gop=4))
+        assert units[0].is_idr and units[4].is_idr
+        assert not units[1].is_idr
+
+    def test_rejects_slice_before_headers(self):
+        stream = Bitstream(width=8, height=8, fps=24, gop=4)
+        stream.nals.append(NalUnit(NalType.IDR_SLICE, b"xx"))
+        with pytest.raises(BitstreamError):
+            demux(stream)
+
+    def test_coded_bytes_exposed(self, frames):
+        units = demux(encode_video(frames))
+        assert all(u.coded_bytes > 0 for u in units)
