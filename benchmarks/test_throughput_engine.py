@@ -1,0 +1,62 @@
+"""Wall-clock throughput benchmark: batched engine vs serial loop.
+
+Asserts the tentpole claim: on >= 8 synthetic quarter-1080p frames with
+>= 4 workers, the batched :class:`~repro.detect.engine.DetectionEngine`
+sustains >= 1.5x the wall-clock fps of a naive ``process_frame`` loop,
+with byte-identical detections.  Writes the ``BENCH_throughput.json``
+artifact that CI uploads.
+
+Set ``REPRO_BENCH_SMOKE=1`` (the CI smoke job does) to shrink the
+workload and skip the fps-ratio assertion — shared CI runners do not
+provide stable enough wall clocks for a ratio gate, so smoke mode checks
+the machinery (identity, artifact schema) and leaves the perf gate to
+the full local run.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.throughput import run_throughput
+
+pytestmark = pytest.mark.bench
+
+#: quarter-1080p geometry (1920x1080 / 4 per axis)
+_WIDTH, _HEIGHT = 480, 270
+
+
+def _artifact_path() -> Path:
+    return Path(os.environ.get("REPRO_BENCH_OUTPUT", "BENCH_throughput.json"))
+
+
+def test_throughput_engine(report):
+    smoke = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+    result = run_throughput(
+        frames=8 if smoke else 12,
+        workers=4,
+        width=_WIDTH,
+        height=_HEIGHT,
+        trials=2 if smoke else 3,
+        cascade="quick" if smoke else "paper",
+    )
+    report(result.format_table())
+
+    path = result.write_json(_artifact_path())
+    payload = json.loads(path.read_text())
+    assert payload["experiment"] == "throughput"
+    assert payload["frames"] == result.frames
+    assert payload["batch_report"]["frames"] == result.frames
+    assert payload["batch_report"]["simulated_fps"] > 0
+
+    # functional identity is non-negotiable in every mode
+    assert result.identical, "batched detections differ from serial ones"
+    assert result.workers >= 4
+    assert result.frames >= 8
+
+    if not smoke:
+        assert result.speedup >= 1.5, (
+            f"batched engine reached only {result.speedup:.2f}x serial fps "
+            f"(serial {result.serial_fps:.2f} fps, batched {result.batched_fps:.2f} fps)"
+        )

@@ -163,6 +163,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.config import active_profile
 
+    if args.experiment == "throughput":
+        return _cmd_bench_throughput(args)
     profile = active_profile()
     drivers = {
         "table1": lambda: _fmt("table1", profile),
@@ -174,9 +176,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "fig9": lambda: _fmt("fig9", profile),
     }
     if args.experiment not in drivers:
-        print(f"unknown experiment {args.experiment!r}; choose from {sorted(drivers)}")
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from {sorted(drivers) + ['throughput']}"
+        )
         return 2
     print(drivers[args.experiment]())
+    return 0
+
+
+def _cmd_bench_throughput(args: argparse.Namespace) -> int:
+    from repro.experiments.throughput import run_throughput
+
+    result = run_throughput(
+        frames=args.frames,
+        workers=args.workers,
+        width=args.width,
+        height=args.height,
+        trials=args.trials,
+        cascade=args.cascade,
+    )
+    print(result.format_table())
+    path = result.write_json(args.output)
+    print(f"benchmark artifact -> {path}")
     return 0
 
 
@@ -243,7 +265,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser("bench", help="run one experiment driver")
-    p.add_argument("experiment", help="table1|table2|fig5|fig6|fig7|fig8|fig9")
+    p.add_argument(
+        "experiment", help="table1|table2|fig5|fig6|fig7|fig8|fig9|throughput"
+    )
+    p.add_argument("--frames", type=int, default=10, help="frames (throughput)")
+    p.add_argument("--workers", type=int, default=4, help="engine workers (throughput)")
+    p.add_argument("--width", type=int, default=480, help="frame width (throughput)")
+    p.add_argument("--height", type=int, default=270, help="frame height (throughput)")
+    p.add_argument("--trials", type=int, default=3, help="timing rounds (throughput)")
+    p.add_argument(
+        "--cascade",
+        choices=("quick", "paper", "opencv"),
+        default="paper",
+        help="cascade profile (throughput)",
+    )
+    p.add_argument(
+        "--output",
+        default="BENCH_throughput.json",
+        help="JSON artifact path (throughput)",
+    )
     p.set_defaults(func=_cmd_bench)
     return parser
 

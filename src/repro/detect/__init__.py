@@ -4,6 +4,7 @@
 * :mod:`repro.detect.kernels` — the cascade evaluation kernel;
 * :mod:`repro.detect.pipeline` — the Fig. 1 pipeline with serial vs
   concurrent kernel execution;
+* :mod:`repro.detect.engine` — the batched multi-frame throughput engine;
 * :mod:`repro.detect.grouping` — S_eyes-based detection merging;
 * :mod:`repro.detect.display` — the display (rectangle overlay) kernel;
 * :mod:`repro.detect.detector` — the high-level :class:`FaceDetector` API.
@@ -12,6 +13,7 @@
 from repro.detect.windows import BlockMapping, staging_addresses
 from repro.detect.kernels import CascadeKernelResult, cascade_eval_kernel
 from repro.detect.pipeline import FaceDetectionPipeline, PipelineConfig, FrameResult
+from repro.detect.engine import DetectionEngine, EngineRun, FrameWorkspace, batch_report
 from repro.detect.grouping import RawDetection, group_detections, predicted_eyes
 from repro.detect.display import draw_detections, display_launch
 from repro.detect.detector import FaceDetector, Detection, DetectionResult
@@ -26,6 +28,10 @@ __all__ = [
     "FaceDetectionPipeline",
     "PipelineConfig",
     "FrameResult",
+    "DetectionEngine",
+    "EngineRun",
+    "FrameWorkspace",
+    "batch_report",
     "RawDetection",
     "group_detections",
     "predicted_eyes",

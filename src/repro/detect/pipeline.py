@@ -34,7 +34,12 @@ from repro.image.integral import integral_image, integral_launches, squared_inte
 from repro.image.pyramid import PyramidConfig, PyramidLevel, build_pyramid, scaling_launch
 from repro.utils.validation import check_shape_2d
 
-__all__ = ["PipelineConfig", "FrameResult", "FaceDetectionPipeline"]
+__all__ = [
+    "PipelineConfig",
+    "FrameResult",
+    "FaceDetectionPipeline",
+    "collect_raw_detections",
+]
 
 
 @dataclass(frozen=True)
@@ -81,6 +86,36 @@ class FrameResult:
         return np.stack([kr.rejections_by_depth[: n_stages + 1] for kr in self.kernel_results])
 
 
+def collect_raw_detections(
+    levels: list[PyramidLevel],
+    results: list[CascadeKernelResult],
+    window: int,
+) -> list[RawDetection]:
+    """Accepted anchors -> frame-space windows (Section III-D sizing).
+
+    Shared by the pipeline and the batched :class:`~repro.detect.engine.
+    DetectionEngine`, so both produce identical detection lists from
+    identical kernel results.
+    """
+    raw: list[RawDetection] = []
+    for level, result in zip(levels, results):
+        ys, xs = result.accepted
+        if ys.size == 0:
+            continue
+        scores = result.score_map[ys, xs]
+        size = window * level.scale
+        for y, x, s in zip(ys, xs, scores):
+            raw.append(
+                RawDetection(
+                    x=float(x) * level.scale,
+                    y=float(y) * level.scale,
+                    size=float(size),
+                    score=float(s),
+                )
+            )
+    return raw
+
+
 class FaceDetectionPipeline:
     """Reusable pipeline bound to one cascade and one device."""
 
@@ -120,6 +155,27 @@ class FaceDetectionPipeline:
     @property
     def constant_memory(self) -> ConstantMemory:
         return self._constant
+
+    @property
+    def device(self) -> DeviceSpec:
+        return self._device
+
+    @property
+    def scheduler(self) -> DeviceScheduler:
+        """The device scheduler (stateless per ``run``; safe to share)."""
+        return self._scheduler
+
+    def make_workspace(self):
+        """A reusable per-worker :class:`~repro.detect.engine.FrameWorkspace`.
+
+        The workspace caches every expensive frame-independent artefact
+        (pyramid resampling plans, block mappings, launch templates with
+        precomputed cost cohorts, scratch buffers) across frames, and its
+        functional output is float-identical to :meth:`process_frame`.
+        """
+        from repro.detect.engine import FrameWorkspace
+
+        return FrameWorkspace(self)
 
     def process_frame(self, luma: np.ndarray, mode: ExecutionMode | None = None) -> FrameResult:
         """Run the full Fig. 1 pipeline over one luma frame."""
@@ -205,21 +261,4 @@ class FaceDetectionPipeline:
         self, levels: list[PyramidLevel], results: list[CascadeKernelResult]
     ) -> list[RawDetection]:
         """Accepted anchors -> frame-space windows (Section III-D sizing)."""
-        window = self._config.pyramid.window
-        raw: list[RawDetection] = []
-        for level, result in zip(levels, results):
-            ys, xs = result.accepted
-            if ys.size == 0:
-                continue
-            scores = result.score_map[ys, xs]
-            size = window * level.scale
-            for y, x, s in zip(ys, xs, scores):
-                raw.append(
-                    RawDetection(
-                        x=float(x) * level.scale,
-                        y=float(y) * level.scale,
-                        size=float(size),
-                        score=float(s),
-                    )
-                )
-        return raw
+        return collect_raw_detections(levels, results, self._config.pyramid.window)

@@ -17,8 +17,6 @@ the two strategies uses exactly the same workload.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.detect.kernels import CascadeKernelResult, stage_instruction_costs

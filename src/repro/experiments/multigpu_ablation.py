@@ -22,7 +22,6 @@ from repro.gpusim.multigpu import (
     assign_levels_balanced,
     assign_levels_round_robin,
 )
-from repro.gpusim.scheduler import ExecutionMode
 from repro.image.integral import integral_image, integral_launches, squared_integral_image
 from repro.image.pyramid import build_pyramid
 from repro.utils.tables import format_table

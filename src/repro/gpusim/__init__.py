@@ -24,6 +24,7 @@ from repro.gpusim.counters import PerfCounters
 from repro.gpusim.costmodel import CostModel
 from repro.gpusim.occupancy import OccupancyCalculator, OccupancyResult
 from repro.gpusim.scheduler import DeviceScheduler, ExecutionMode, ScheduleResult
+from repro.gpusim.batch import BatchReport
 from repro.gpusim.trace import KernelTrace, Timeline
 from repro.gpusim.profiler import CommandLineProfiler
 
@@ -44,6 +45,7 @@ __all__ = [
     "DeviceScheduler",
     "ExecutionMode",
     "ScheduleResult",
+    "BatchReport",
     "KernelTrace",
     "Timeline",
     "CommandLineProfiler",

@@ -36,6 +36,10 @@ class OccupancyCalculator:
 
     def __init__(self, device: DeviceSpec) -> None:
         self._device = device
+        # Memoised per LaunchConfig (frozen, hashable): the pipeline asks for
+        # the same handful of configs for every frame, and the batched engine
+        # replays identical launch templates across whole videos.
+        self._cache: dict[LaunchConfig, OccupancyResult] = {}
 
     def residency(self, config: LaunchConfig) -> OccupancyResult:
         """Return the per-SM residency for ``config``.
@@ -43,6 +47,9 @@ class OccupancyCalculator:
         Raises :class:`LaunchError` if the block cannot run at all (zero
         residency), mirroring a CUDA launch failure.
         """
+        cached = self._cache.get(config)
+        if cached is not None:
+            return cached
         device = self._device
         config.validate(device)
         warps = config.warps_per_block
@@ -63,11 +70,13 @@ class OccupancyCalculator:
             raise LaunchError(
                 f"kernel cannot be resident on {device.name}: limited by {factor}"
             )
-        return OccupancyResult(
+        result = OccupancyResult(
             blocks_per_sm=blocks,
             warps_per_sm=blocks * warps,
             limiting_factor=factor,
         )
+        self._cache[config] = result
+        return result
 
     def device_occupancy(self, config: LaunchConfig, grid_blocks: int) -> float:
         """Achieved device occupancy for a whole grid.

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import operator
 from dataclasses import dataclass
 from enum import Enum
 
@@ -43,6 +44,9 @@ __all__ = ["ExecutionMode", "ScheduleResult", "DeviceScheduler"]
 
 #: sentinel SM index marking a "launch became runnable" timer event
 _TIMER = -1
+
+#: sort key for the runnable list (issue order), hoisted out of the hot loop
+_state_index = operator.attrgetter("index")
 
 
 class ExecutionMode(Enum):
@@ -71,7 +75,7 @@ class ScheduleResult:
         return self.warp_seconds / (self.device_warp_capacity * self.makespan_s)
 
 
-@dataclass
+@dataclass(slots=True)
 class _LaunchState:
     launch: KernelLaunch
     index: int
@@ -105,7 +109,7 @@ class _LaunchState:
         return None
 
 
-@dataclass
+@dataclass(slots=True)
 class _SM:
     blocks: int = 0
     warps: int = 0
@@ -194,10 +198,19 @@ class DeviceScheduler:
         max_blocks_sm = device.max_blocks_per_sm
         max_warps_sm = device.max_warps_per_sm
         smem_sm = device.shared_mem_per_sm
+        # hot-loop bindings: the event loop below runs tens of thousands of
+        # iterations per frame, so attribute lookups are hoisted out of it
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        min_eff = device.min_efficiency
+        eff_span = 1.0 - min_eff
+        sat_warps = device.saturation_warps
+        single_kernel_eff = device.single_kernel_efficiency
+        n_sms = len(sms)
 
         def push_sentinel(st: _LaunchState) -> None:
             nonlocal seq
-            heapq.heappush(heap, (st.runnable_at, seq, _TIMER, st.index, 0, 0, 0))
+            heappush(heap, (st.runnable_at, seq, _TIMER, st.index, 0, 0, 0))
             seq += 1
 
         for queue in streams.values():
@@ -212,26 +225,36 @@ class DeviceScheduler:
                     head = queue[pos]
                     if (
                         head.runnable_at <= now
-                        and head.blocks_left_to_dispatch > 0
+                        and head.blocks_total > head.dispatched
                         and not head.waiting_on
                     ):
                         runnable.append(head)
-            runnable.sort(key=lambda s: s.index)
+            runnable.sort(key=_state_index)
 
         def place_one(sm: _SM, sm_idx: int) -> bool:
             """Place one cohort group of some runnable launch on this SM."""
             nonlocal rr_cursor, seq, warp_seconds, groups_in_flight
             n = len(runnable)
+            sm_blocks = sm.blocks
+            if sm_blocks >= max_blocks_sm:
+                return False
             for offset in range(n):
                 pick = (rr_cursor + offset) % n
                 st = runnable[pick]
-                cohort = st.peek_cohort()
-                if cohort is None:
+                # inlined st.peek_cohort()
+                cohorts = st.cohorts
+                nc = len(cohorts)
+                ptr = st.cohort_ptr
+                while ptr < nc and cohorts[ptr][0] <= 0:
+                    ptr += 1
+                st.cohort_ptr = ptr
+                if ptr == nc:
                     continue
+                cohort = cohorts[ptr]
                 cap = st.residency_blocks
                 if max_blocks_sm < cap:
                     cap = max_blocks_sm
-                cap -= sm.blocks
+                cap -= sm_blocks
                 wcap = (max_warps_sm - sm.warps) // st.warps_per_block
                 if wcap < cap:
                     cap = wcap
@@ -241,34 +264,37 @@ class DeviceScheduler:
                         cap = scap
                 if cap <= 0:
                     continue
-                count = cap if cap < cohort[0] else int(cohort[0])
+                remaining = int(cohort[0])
+                count = cap if cap < remaining else remaining
                 # Load balance: spread a small cohort across SMs instead of
                 # stacking it onto one (processor sharing would serialise a
                 # stack of heavy blocks and stretch the kernel's drain tail).
-                spread = -(-int(cohort[0]) // len(sms))
+                spread = -(-remaining // n_sms)
                 if spread < count:
                     count = spread
                 cohort[0] -= count
-                sm.blocks += count
+                sm.blocks = sm_blocks + count
                 warps = count * st.warps_per_block
                 sm.warps += warps
-                sm.smem += count * st.smem_per_block
-                sm.resident[st.index] = sm.resident.get(st.index, 0) + count
+                smem = count * st.smem_per_block
+                sm.smem += smem
+                resident = sm.resident
+                resident[st.index] = resident.get(st.index, 0) + count
                 st.dispatched += count
                 # Processor-sharing within the SM: resident blocks split the
                 # SM's issue bandwidth; residency-dependent efficiency scales
                 # it (a lone 2-warp block runs at ~min_efficiency), and a
                 # single-kernel SM is further capped by phase correlation.
-                eff = self._efficiency(sm.warps)
-                if len(sm.resident) <= 1:
-                    eff *= self._device.single_kernel_efficiency
+                frac = sm.warps / sat_warps
+                if frac > 1.0:
+                    frac = 1.0
+                eff = min_eff + eff_span * frac
+                if len(resident) <= 1:
+                    eff *= single_kernel_eff
                 duration = cohort[1] * sm.blocks / eff
                 finish = now + duration
                 warp_seconds += warps * duration
-                heapq.heappush(
-                    heap,
-                    (finish, seq, sm_idx, st.index, count, warps, count * st.smem_per_block),
-                )
+                heappush(heap, (finish, seq, sm_idx, st.index, count, warps, smem))
                 seq += 1
                 groups_in_flight += 1
                 rr_cursor = pick + 1
@@ -334,7 +360,7 @@ class DeviceScheduler:
                     return
 
         while heap:
-            time, _, sm_idx, launch_idx, count, warps, smem = heapq.heappop(heap)
+            time, _, sm_idx, launch_idx, count, warps, smem = heappop(heap)
             now = time
             if sm_idx == _TIMER:
                 full_dispatch()

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.gpusim.kernel import KernelLaunch
-from repro.image.scan import blelloch_block_scan, inclusive_scan_rows, scan_row_launches
+from repro.image.scan import blelloch_block_scan, scan_row_launches
 from repro.image.transpose import tiled_transpose, transpose_launch
 from repro.utils.validation import check_shape_2d
 

@@ -18,6 +18,12 @@ from repro.video.trailer import (
     trailer_frames,
     synthesize_trailer,
 )
+from repro.video.stream import (
+    FramePacket,
+    synthetic_stream,
+    trailer_stream,
+    decoded_stream,
+)
 
 __all__ = [
     "pack_nv12",
@@ -38,4 +44,8 @@ __all__ = [
     "TRAILERS",
     "trailer_frames",
     "synthesize_trailer",
+    "FramePacket",
+    "synthetic_stream",
+    "trailer_stream",
+    "decoded_stream",
 ]

@@ -1,0 +1,121 @@
+"""Streaming frame sources for the batched detection engine.
+
+The paper feeds the detector from the GPU's hardware H.264 decoder, frame
+by frame, and keeps the pipeline busy by overlapping decode with detection.
+This module is the host-side equivalent: it adapts every frame producer in
+:mod:`repro.video` (synthetic scenes, Table II trailers, the mock decoder)
+to one lazy iterator protocol that
+:class:`~repro.detect.engine.DetectionEngine` can consume with bounded
+memory — frames are materialised only when the engine's backpressure
+window has room.
+
+Each item is a :class:`FramePacket` carrying the luma plane plus source
+metadata (ground-truth annotations for synthetic sources, modelled decode
+latency for the decoder).  The engine only reads ``.luma``; everything
+else rides along for evaluation and throughput accounting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import rng_for
+from repro.video.decoder import HardwareDecoder
+from repro.video.h264 import Bitstream, demux
+from repro.video.synthesis import FaceAnnotation, render_scene
+from repro.video.trailer import TrailerSpec, trailer_frames
+
+__all__ = [
+    "FramePacket",
+    "synthetic_stream",
+    "trailer_stream",
+    "decoded_stream",
+]
+
+
+@dataclass
+class FramePacket:
+    """One frame in flight: luma plane plus per-source metadata."""
+
+    index: int
+    luma: np.ndarray
+    #: ground truth for synthetic sources (empty for decoded streams)
+    annotations: list[FaceAnnotation] = field(default_factory=list)
+    #: modelled hardware-decode latency (0 for synthetic sources)
+    decode_latency_s: float = 0.0
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(height, width) of the luma plane."""
+        return (int(self.luma.shape[0]), int(self.luma.shape[1]))
+
+
+def _check_geometry(width: int, height: int, n_frames: int) -> None:
+    if width < 48 or height < 48:
+        raise ConfigurationError("stream frames must be at least 48x48")
+    if n_frames <= 0:
+        raise ConfigurationError("n_frames must be positive")
+
+
+def synthetic_stream(
+    width: int,
+    height: int,
+    n_frames: int,
+    *,
+    faces: int = 2,
+    clutter: float = 0.5,
+    seed: int = 0,
+) -> Iterator[FramePacket]:
+    """Independent synthetic scenes (the throughput-benchmark workload).
+
+    Deterministic in ``(width, height, n_frames, faces, clutter, seed)``:
+    frame ``i`` is always the same scene regardless of how many frames are
+    consumed, so serial and batched runs over the same stream parameters
+    see byte-identical pixels.
+    """
+    _check_geometry(width, height, n_frames)
+    for index in range(n_frames):
+        frame, annotations = render_scene(
+            width,
+            height,
+            faces=faces,
+            rng=rng_for(seed, "stream", index),
+            clutter=clutter,
+        )
+        yield FramePacket(index=index, luma=frame, annotations=annotations)
+
+
+def trailer_stream(
+    spec: TrailerSpec | str,
+    width: int,
+    height: int,
+    n_frames: int,
+    *,
+    seed: int = 0,
+    step: int = 1,
+) -> Iterator[FramePacket]:
+    """A synthetic Table II trailer as a lazy packet stream."""
+    frames = trailer_frames(spec, width, height, n_frames, seed=seed, step=step)
+    for index, (frame, annotations) in enumerate(frames):
+        yield FramePacket(index=index, luma=frame, annotations=annotations)
+
+
+def decoded_stream(bitstream: Bitstream, *, seed: int = 0) -> Iterator[FramePacket]:
+    """Frames from the mock hardware decoder, in decode order.
+
+    P slices reference the previous frame, so the decoder session lives
+    across the whole iteration — consuming the stream out of order is not
+    possible, exactly like a CUVID session.
+    """
+    decoder = HardwareDecoder(bitstream, seed=seed)
+    for unit in demux(bitstream):
+        decoded = decoder.decode(unit)
+        yield FramePacket(
+            index=decoded.frame_index,
+            luma=decoded.luma,
+            decode_latency_s=decoded.latency_s,
+        )

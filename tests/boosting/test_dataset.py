@@ -5,7 +5,6 @@ import pytest
 
 from repro.boosting.dataset import PACKED_ROWS, TrainingSet, build_training_set, pack_windows
 from repro.errors import TrainingError
-from repro.haar.features import WINDOW
 
 
 class TestPackWindows:

@@ -5,7 +5,6 @@ the same drivers at the smallest sizes that still exercise every code path,
 so `pytest tests/` stays fast while covering the experiment layer.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments.config import QUICK, ExperimentProfile, active_profile

@@ -9,7 +9,6 @@ from repro.gpusim.device import (
     GTX470,
     XEON_HOST_DUAL_E5472,
     XEON_HOST_I7_2600K,
-    DeviceSpec,
     HostSpec,
 )
 

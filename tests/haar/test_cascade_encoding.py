@@ -1,6 +1,5 @@
 """Tests for cascade containers, serialisation, and the 16-bit encoding."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -1,0 +1,71 @@
+"""Validate the CI pipeline definition.
+
+``actionlint`` is not a baked-in dependency, so the tier-1 gate is a
+structural check: the workflow must parse as YAML and contain the three
+jobs the repo's quality gates depend on (lint, test matrix, benchmark
+smoke) with the exact tier-1 pytest invocation.
+"""
+
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml", reason="PyYAML needed to parse the workflow")
+
+_WORKFLOW = Path(__file__).resolve().parent.parent / ".github" / "workflows" / "ci.yml"
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    assert _WORKFLOW.is_file(), "CI workflow .github/workflows/ci.yml is missing"
+    return yaml.safe_load(_WORKFLOW.read_text())
+
+
+def _steps_text(job: dict) -> str:
+    return "\n".join(str(step.get("run", "")) for step in job["steps"])
+
+
+def test_triggers(workflow):
+    # YAML 1.1 parses the bare key `on` as boolean True
+    triggers = workflow.get("on", workflow.get(True))
+    assert triggers is not None, "workflow has no trigger block"
+    assert "pull_request" in triggers
+    assert triggers["push"]["branches"] == ["main"]
+
+
+def test_jobs_present(workflow):
+    assert {"lint", "test", "bench"} <= set(workflow["jobs"])
+
+
+def test_lint_job_runs_ruff(workflow):
+    text = _steps_text(workflow["jobs"]["lint"])
+    assert "ruff check" in text
+    assert "ruff format --check" in text
+
+
+def test_test_job_matrix_and_command(workflow):
+    job = workflow["jobs"]["test"]
+    versions = job["strategy"]["matrix"]["python-version"]
+    assert versions == ["3.10", "3.11", "3.12"]
+    assert "PYTHONPATH=src python -m pytest -x -q" in _steps_text(job)
+
+
+def test_pip_caching(workflow):
+    for name in ("lint", "test", "bench"):
+        setup = next(
+            step
+            for step in workflow["jobs"][name]["steps"]
+            if "setup-python" in str(step.get("uses", ""))
+        )
+        assert setup["with"]["cache"] == "pip", f"{name}: pip cache not enabled"
+
+
+def test_bench_job_smoke_and_artifact(workflow):
+    job = workflow["jobs"]["bench"]
+    text = _steps_text(job)
+    assert "REPRO_BENCH_SMOKE=1" in text
+    assert "benchmarks/test_throughput_engine.py" in text
+    upload = next(
+        step for step in job["steps"] if "upload-artifact" in str(step.get("uses", ""))
+    )
+    assert upload["with"]["path"] == "BENCH_throughput.json"

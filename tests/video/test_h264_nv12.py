@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import BitstreamError
 from repro.video.h264 import (
-    AccessUnit,
     Bitstream,
     NalType,
     NalUnit,
