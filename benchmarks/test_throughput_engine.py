@@ -50,6 +50,21 @@ def test_throughput_engine(report):
     assert payload["batch_report"]["frames"] == result.frames
     assert payload["batch_report"]["simulated_fps"] > 0
 
+    # provenance: bench trajectory points must be comparable across PRs
+    assert payload["schema_version"] == 2
+    prov = payload["provenance"]
+    assert {"git_sha", "timestamp_utc", "python", "numpy", "platform"} <= set(prov)
+    assert payload["workers"] == 4
+    assert (payload["frame_width"], payload["frame_height"]) == (_WIDTH, _HEIGHT)
+
+    # the embedded observability snapshot of the instrumented pass
+    metrics = payload["metrics"]
+    assert metrics["counters"]["engine.frames"] == result.frames
+    assert metrics["histograms"]["engine.frame_latency_s"]["count"] == result.frames
+    assert metrics["histograms"]["engine.frame_latency_s"]["p95"] > 0
+    assert metrics["stage_busy_seconds"]["cascade"] > 0
+    assert metrics["max_queue_depth"] >= 1
+
     # functional identity is non-negotiable in every mode
     assert result.identical, "batched detections differ from serial ones"
     assert result.workers >= 4

@@ -38,6 +38,11 @@ def main() -> None:
     ratio = serial.makespan_s / concurrent.makespan_s
     print(f"\nconcurrent kernel execution is {ratio:.2f}x faster on this frame")
 
+    # the same timeline as a loadable Chrome trace (chrome://tracing or
+    # ui.perfetto.dev), one track per simulated CUDA stream
+    path = CommandLineProfiler(concurrent).write_chrome_trace("kernel_trace.json")
+    print(f"chrome trace -> {path}")
+
 
 if __name__ == "__main__":
     main()

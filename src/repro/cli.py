@@ -7,6 +7,7 @@ Commands
 ``info``      print device model, cascade zoo and profile information
 ``train``     train a small cascade from scratch and save it as JSON
 ``bench``     run one experiment driver and print its paper-style table
+``trace``     record a Chrome trace + metrics snapshot of the engine
 """
 
 from __future__ import annotations
@@ -202,6 +203,29 @@ def _cmd_bench_throughput(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.capture import run_trace
+
+    capture = run_trace(
+        frames=args.frames,
+        workers=args.workers,
+        width=args.width,
+        height=args.height,
+        cascade=args.cascade,
+        faces=args.faces,
+        seed=args.seed,
+    )
+    trace_path = capture.write_trace(args.output)
+    metrics_path = capture.write_metrics(args.metrics_output)
+    print(capture.render_snapshot())
+    print(
+        f"\ntraced {capture.frames} frames on {capture.workers} workers"
+        f"\nchrome trace -> {trace_path}  (open via chrome://tracing or ui.perfetto.dev)"
+        f"\nmetrics snapshot -> {metrics_path}"
+    )
+    return 0
+
+
 def _fmt(name: str, profile) -> str:
     if name == "table1":
         from repro.experiments.table1 import run_table1
@@ -285,6 +309,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON artifact path (throughput)",
     )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "trace", help="record a Chrome trace + metrics snapshot of the engine"
+    )
+    p.add_argument("--frames", type=int, default=8, help="frames to process")
+    p.add_argument("--workers", type=int, default=2, help="engine worker threads")
+    p.add_argument("--width", type=int, default=480)
+    p.add_argument("--height", type=int, default=270)
+    p.add_argument(
+        "--cascade",
+        choices=("quick", "paper", "opencv"),
+        default="quick",
+        help="cascade profile",
+    )
+    p.add_argument("--faces", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--output", "-o", default="TRACE_engine.json", help="Chrome trace JSON path"
+    )
+    p.add_argument(
+        "--metrics-output",
+        default="TRACE_metrics.json",
+        help="metrics snapshot JSON path",
+    )
+    p.set_defaults(func=_cmd_trace)
     return parser
 
 

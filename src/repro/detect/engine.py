@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from collections import deque
 from collections.abc import Iterable, Iterator
 from concurrent.futures import ThreadPoolExecutor
@@ -54,6 +55,8 @@ from repro.errors import ConfigurationError
 from repro.gpusim.batch import BatchReport
 from repro.gpusim.kernel import BlockWork, KernelLaunch, LaunchConfig
 from repro.gpusim.scheduler import ExecutionMode
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.haar.cascade import Cascade
 from repro.haar.features import feature_rects
 from repro.image.filtering import antialias, filtering_launch
@@ -353,10 +356,16 @@ class FrameWorkspace:
     Not thread-safe: each engine worker owns one workspace.  Geometry
     state is cached per frame shape, so a workspace can serve mixed-
     resolution streams (each resolution pays its plan cost once).
+
+    ``tracer`` wraps every Fig. 1 stage in a span (pyramid anti-alias,
+    pyramid scaling, integral images, cascade evaluation, grouping, the
+    simulated schedule).  Spans only observe — output stays
+    byte-identical with tracing on, as the determinism tests assert.
     """
 
-    def __init__(self, pipeline: FaceDetectionPipeline) -> None:
+    def __init__(self, pipeline: FaceDetectionPipeline, tracer: Tracer | None = None) -> None:
         self._pipeline = pipeline
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._cascade = pipeline.cascade
         self._plan = _cascade_plan(pipeline.cascade)
         self._n_stages = pipeline.cascade.num_stages
@@ -395,21 +404,25 @@ class FrameWorkspace:
             geo = _Geometry(self._pipeline, img.shape)
             self._geometries[img.shape] = geo
 
+        tracer = self._tracer
         levels = self._build_levels(geo, img)
 
         launches: list[KernelLaunch] = []
         kernel_results: list[CascadeKernelResult] = []
         for state, level in zip(geo.levels, levels):
             launches.extend(state.pre_launches)
-            self._integrals(state, level.image)
+            with tracer.span("integral"):
+                self._integrals(state, level.image)
             launches.extend(state.integral_launches)
-            result = self._cascade_eval(state, level)
+            with tracer.span("cascade"):
+                result = self._cascade_eval(state, level)
             launches.append(result.launch)
             kernel_results.append(result)
 
-        raw = collect_raw_detections(
-            levels, kernel_results, self._pipeline.config.pyramid.window
-        )
+        with tracer.span("grouping"):
+            raw = collect_raw_detections(
+                levels, kernel_results, self._pipeline.config.pyramid.window
+            )
         launches.append(
             display_launch(
                 img.shape[1],
@@ -419,7 +432,8 @@ class FrameWorkspace:
                 wait_streams=geo.display_waits,
             )
         )
-        schedule = self._pipeline.scheduler.run(launches, mode)
+        with tracer.span("schedule"):
+            schedule = self._pipeline.scheduler.run(launches, mode)
         return FrameResult(
             raw_detections=raw,
             schedule=schedule,
@@ -430,16 +444,20 @@ class FrameWorkspace:
     # -- pyramid ------------------------------------------------------------
 
     def _build_levels(self, geo: _Geometry, img: np.ndarray) -> list[PyramidLevel]:
+        tracer = self._tracer
         octaves: list[np.ndarray] = [img]
         for plan, buf in geo.octave_plans:
-            filtered = antialias(octaves[-1], 2.0)
-            octaves.append(plan.apply(filtered, out=buf))
+            with tracer.span("pyramid.antialias"):
+                filtered = antialias(octaves[-1], 2.0)
+            with tracer.span("pyramid.scale"):
+                octaves.append(plan.apply(filtered, out=buf))
         levels: list[PyramidLevel] = []
         for state in geo.levels:
             if state.index == 0:
                 image = img
             else:
-                image = state.bilinear.apply(octaves[state.octave])
+                with tracer.span("pyramid.scale"):
+                    image = state.bilinear.apply(octaves[state.octave])
             levels.append(
                 PyramidLevel(
                     index=state.index,
@@ -657,6 +675,27 @@ def _as_luma(frame) -> np.ndarray:
     return np.asarray(luma)
 
 
+def _bridge_frame_metrics(metrics: MetricsRegistry, result: FrameResult) -> None:
+    """Bridge one frame's simulated-layer statistics into the registry.
+
+    Fig. 7's per-depth rejection histogram feeds the stage-1 rejection
+    rate; the schedule's :class:`~repro.gpusim.counters.PerfCounters`
+    feed the branch counters the paper's Section VI-A quotes.
+    """
+    anchors = 0
+    rejected_stage1 = 0
+    for kr in result.kernel_results:
+        hist = np.asarray(kr.rejections_by_depth)
+        anchors += int(hist.sum())
+        rejected_stage1 += int(hist[0])
+    metrics.counter("cascade.anchors").inc(anchors)
+    metrics.counter("cascade.anchors_rejected_stage1").inc(rejected_stage1)
+    metrics.counter("sim.kernels").inc(len(result.schedule.timeline.traces))
+    metrics.counter("sim.device_seconds").inc(result.schedule.makespan_s)
+    metrics.counter("sim.branches").inc(result.schedule.total.branches)
+    metrics.counter("sim.divergent_branches").inc(result.schedule.total.divergent_branches)
+
+
 @dataclass
 class EngineRun:
     """Outcome of :meth:`DetectionEngine.run`: results plus the aggregate."""
@@ -705,6 +744,16 @@ class DetectionEngine:
     mode:
         Execution mode for the simulated schedules; defaults to the
         pipeline's configured mode.
+    tracer:
+        Span tracer shared by every worker workspace; each frame is
+        wrapped in a ``frame`` span (carrying its index, the Chrome
+        exporter's anchor) around the per-stage spans.  Defaults to the
+        pipeline's tracer (normally the no-op :data:`NULL_TRACER`).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving
+        per-frame queue-wait / latency / ordered-emit histograms, the
+        in-flight gauge, and counters bridged from the simulated layer
+        (Fig. 7 stage-1 rejections, branch counters).
     """
 
     def __init__(
@@ -714,6 +763,8 @@ class DetectionEngine:
         workers: int | None = None,
         queue_depth: int = 2,
         mode: ExecutionMode | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
@@ -725,6 +776,8 @@ class DetectionEngine:
         self._workers = workers
         self._queue_depth = queue_depth
         self._mode = mode
+        self._tracer = tracer if tracer is not None else pipeline.tracer
+        self._metrics = metrics
         self._free: list[FrameWorkspace] = []
         self._lock = threading.Lock()
 
@@ -745,7 +798,7 @@ class DetectionEngine:
         with self._lock:
             if self._free:
                 return self._free.pop()
-        return self._pipeline.make_workspace()
+        return self._pipeline.make_workspace(tracer=self._tracer)
 
     def _release(self, workspace: FrameWorkspace) -> None:
         with self._lock:
@@ -757,10 +810,26 @@ class DetectionEngine:
         """Process one frame on one worker (overridable for tests)."""
         return workspace.process_frame(luma, mode)
 
-    def _job(self, luma: np.ndarray, mode: ExecutionMode | None) -> FrameResult:
+    def _job(
+        self,
+        index: int,
+        luma: np.ndarray,
+        mode: ExecutionMode | None,
+        submit_ts: float | None = None,
+    ) -> FrameResult:
+        metrics = self._metrics
+        if metrics is not None and submit_ts is not None:
+            metrics.histogram("engine.queue_wait_s").observe(time.perf_counter() - submit_ts)
         workspace = self._checkout()
         try:
-            return self._process_one(workspace, luma, mode)
+            start = time.perf_counter()
+            with self._tracer.span("frame", cat="engine", frame=index):
+                result = self._process_one(workspace, luma, mode)
+            if metrics is not None:
+                metrics.histogram("engine.frame_latency_s").observe(time.perf_counter() - start)
+                metrics.counter("engine.frames").inc()
+                _bridge_frame_metrics(metrics, result)
+            return result
         finally:
             self._release(workspace)
 
@@ -773,24 +842,57 @@ class DetectionEngine:
         futures), independent of which worker finishes first.
         """
         mode = mode or self._mode
+        metrics = self._metrics
         if self._workers == 0:
             workspace = self._checkout()
             try:
-                for frame in frames:
-                    yield self._process_one(workspace, _as_luma(frame), mode)
+                for index, frame in enumerate(frames):
+                    start = time.perf_counter()
+                    with self._tracer.span("frame", cat="engine", frame=index):
+                        result = self._process_one(workspace, _as_luma(frame), mode)
+                    if metrics is not None:
+                        metrics.histogram("engine.frame_latency_s").observe(
+                            time.perf_counter() - start
+                        )
+                        metrics.counter("engine.frames").inc()
+                        _bridge_frame_metrics(metrics, result)
+                    yield result
             finally:
                 self._release(workspace)
             return
 
         limit = self.max_in_flight
+        in_flight = metrics.gauge("engine.in_flight") if metrics is not None else None
+        done_at: dict = {}
         with ThreadPoolExecutor(max_workers=self._workers) as pool:
             pending: deque = deque()
-            for frame in frames:
-                pending.append(pool.submit(self._job, _as_luma(frame), mode))
+
+            def emit() -> FrameResult:
+                future = pending.popleft()
+                result = future.result()
+                if metrics is not None:
+                    done_ts = done_at.pop(future, None)
+                    if done_ts is not None:
+                        metrics.histogram("engine.emit_wait_s").observe(
+                            max(0.0, time.perf_counter() - done_ts)
+                        )
+                    in_flight.set(len(pending))
+                return result
+
+            for index, frame in enumerate(frames):
+                submit_ts = time.perf_counter() if metrics is not None else None
+                future = pool.submit(self._job, index, _as_luma(frame), mode, submit_ts)
+                if metrics is not None:
+                    future.add_done_callback(
+                        lambda f: done_at.__setitem__(f, time.perf_counter())
+                    )
+                pending.append(future)
+                if in_flight is not None:
+                    in_flight.set(len(pending))
                 if len(pending) >= limit:
-                    yield pending.popleft().result()
+                    yield emit()
             while pending:
-                yield pending.popleft().result()
+                yield emit()
 
     def run(self, frames: Iterable, mode: ExecutionMode | None = None) -> EngineRun:
         """Process every frame and aggregate the batch report."""

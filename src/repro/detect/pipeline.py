@@ -29,6 +29,7 @@ from repro.gpusim.memory import ConstantMemory
 from repro.gpusim.scheduler import DeviceScheduler, ExecutionMode, ScheduleResult
 from repro.haar.cascade import Cascade
 from repro.haar.encoding import decode_cascade, encode_cascade
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.image.filtering import filtering_launch
 from repro.image.integral import integral_image, integral_launches, squared_integral_image
 from repro.image.pyramid import PyramidConfig, PyramidLevel, build_pyramid, scaling_launch
@@ -124,9 +125,12 @@ class FaceDetectionPipeline:
         cascade: Cascade,
         device: DeviceSpec = GTX470,
         config: PipelineConfig | None = None,
+        *,
+        tracer: Tracer | None = None,
     ) -> None:
         self._config = config or PipelineConfig()
         self._device = device
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._scheduler = DeviceScheduler(device)
         # Upload the packed cascade to constant memory: this both enforces
         # the 64 KiB budget (Section III-C) and makes the kernel evaluate
@@ -165,17 +169,23 @@ class FaceDetectionPipeline:
         """The device scheduler (stateless per ``run``; safe to share)."""
         return self._scheduler
 
-    def make_workspace(self):
+    @property
+    def tracer(self) -> Tracer:
+        """The span tracer stages report to (:data:`NULL_TRACER` by default)."""
+        return self._tracer
+
+    def make_workspace(self, tracer: Tracer | None = None):
         """A reusable per-worker :class:`~repro.detect.engine.FrameWorkspace`.
 
         The workspace caches every expensive frame-independent artefact
         (pyramid resampling plans, block mappings, launch templates with
         precomputed cost cohorts, scratch buffers) across frames, and its
         functional output is float-identical to :meth:`process_frame`.
+        ``tracer`` overrides the pipeline's own span tracer.
         """
         from repro.detect.engine import FrameWorkspace
 
-        return FrameWorkspace(self)
+        return FrameWorkspace(self, tracer=tracer if tracer is not None else self._tracer)
 
     def process_frame(self, luma: np.ndarray, mode: ExecutionMode | None = None) -> FrameResult:
         """Run the full Fig. 1 pipeline over one luma frame."""
@@ -196,7 +206,8 @@ class FaceDetectionPipeline:
         launches, kernel_results, levels, raw = self._prepare(luma)
         out: dict[ExecutionMode, FrameResult] = {}
         for mode in modes:
-            schedule = self._scheduler.run(launches, mode)
+            with self._tracer.span("schedule"):
+                schedule = self._scheduler.run(launches, mode)
             out[mode] = FrameResult(
                 raw_detections=raw,
                 schedule=schedule,
@@ -206,7 +217,9 @@ class FaceDetectionPipeline:
         return out
 
     def _prepare(self, luma: np.ndarray):
-        levels = build_pyramid(luma, self._config.pyramid)
+        tracer = self._tracer
+        with tracer.span("pyramid.scale"):
+            levels = build_pyramid(luma, self._config.pyramid)
 
         launches: list[KernelLaunch] = []
         kernel_results: list[CascadeKernelResult] = []
@@ -219,8 +232,9 @@ class FaceDetectionPipeline:
                 launches.append(
                     scaling_launch(level.width, level.height, stream, tag="scaling")
                 )
-            ii = integral_image(level.image)
-            sq = squared_integral_image(level.image)
+            with tracer.span("integral"):
+                ii = integral_image(level.image)
+                sq = squared_integral_image(level.image)
             launches.extend(
                 integral_launches(level.height, level.width, stream, tag="integral")
             )
@@ -231,19 +245,21 @@ class FaceDetectionPipeline:
                 block_w=self._config.block_w,
                 block_h=self._config.block_h,
             )
-            result = cascade_eval_kernel(
-                level.image,
-                self._cascade,
-                stream,
-                mapping=mapping,
-                integral=ii,
-                squared=sq,
-                name=f"cascade_s{level.index}",
-            )
+            with tracer.span("cascade"):
+                result = cascade_eval_kernel(
+                    level.image,
+                    self._cascade,
+                    stream,
+                    mapping=mapping,
+                    integral=ii,
+                    squared=sq,
+                    name=f"cascade_s{level.index}",
+                )
             launches.append(result.launch)
             kernel_results.append(result)
 
-        raw = self._collect_detections(levels, kernel_results)
+        with tracer.span("grouping"):
+            raw = self._collect_detections(levels, kernel_results)
         launches.append(
             display_launch(
                 luma.shape[1],

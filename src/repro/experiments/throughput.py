@@ -31,10 +31,17 @@ from repro.detect.engine import DetectionEngine, batch_report
 from repro.detect.pipeline import FaceDetectionPipeline, FrameResult
 from repro.errors import ConfigurationError
 from repro.gpusim.batch import BatchReport
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import build_snapshot
+from repro.obs.tracer import Tracer
+from repro.utils.provenance import provenance
 from repro.utils.tables import format_table
 from repro.video.stream import synthetic_stream
 
-__all__ = ["ThroughputResult", "run_throughput"]
+__all__ = ["ThroughputResult", "run_throughput", "BENCH_SCHEMA_VERSION"]
+
+#: ``BENCH_throughput.json`` schema: 2 adds provenance + the metrics snapshot
+BENCH_SCHEMA_VERSION = 2
 
 #: quarter-1080p: the paper's 1920x1080 trailer frames scaled by 4 per axis
 #: (aspect preserved) so the suite runs in seconds on one CPU core
@@ -64,6 +71,8 @@ class ThroughputResult:
     report: BatchReport
     #: every timed round, for noise inspection: [(serial_s, batched_s), ...]
     rounds: list[tuple[float, float]] = field(default_factory=list)
+    #: observability snapshot of a post-timing instrumented engine pass
+    metrics: dict | None = None
 
     @property
     def serial_fps(self) -> float:
@@ -82,6 +91,8 @@ class ThroughputResult:
         """The ``BENCH_throughput.json`` payload."""
         return {
             "experiment": "throughput",
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "provenance": provenance(),
             "frame_width": self.width,
             "frame_height": self.height,
             "frames": self.frames,
@@ -96,6 +107,7 @@ class ThroughputResult:
             "identical_detections": self.identical,
             "rounds": [list(r) for r in self.rounds],
             "batch_report": self.report.to_dict(),
+            "metrics": self.metrics,
         }
 
     def write_json(self, path: str | Path) -> Path:
@@ -188,6 +200,20 @@ def run_throughput(
     best_batched = min(r[1] for r in rounds)
     report = batch_report(results, wall_s=best_batched)
 
+    # One extra fully instrumented pass *after* the timed rounds: the
+    # metrics snapshot (per-stage busy seconds, frame-latency
+    # percentiles, queue depth) rides along in the JSON artifact without
+    # perturbing the timed region.  It doubles as a second identity
+    # check: tracing must not change a single output byte.
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    traced_engine = DetectionEngine(pipeline, workers=workers, tracer=tracer, metrics=registry)
+    traced = list(traced_engine.process_frames(iter(lumas)))
+    identical = identical and all(
+        _detection_key(r) == _detection_key(t) for r, t in zip(reference, traced)
+    )
+    metrics = build_snapshot(registry, tracer)
+
     return ThroughputResult(
         width=width,
         height=height,
@@ -200,4 +226,5 @@ def run_throughput(
         identical=identical,
         report=report,
         rounds=rounds,
+        metrics=metrics,
     )

@@ -9,6 +9,8 @@ same two artefacts — a concurrent kernel trace and a counter table.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.gpusim.scheduler import ScheduleResult
 from repro.gpusim.trace import KernelTrace
 from repro.utils.tables import format_table
@@ -31,18 +33,21 @@ class CommandLineProfiler:
         return sorted(self._result.timeline.traces, key=lambda t: t.start_s)
 
     def concurrent_kernel_trace(self) -> str:
-        """Per-kernel timestamp table plus the ASCII stream Gantt (Fig. 6)."""
-        rows = [
-            [
-                t.name,
-                t.stream,
-                round(t.start_s * 1e6, 2),
-                round(t.end_s * 1e6, 2),
-                round(t.duration_s * 1e6, 2),
-                t.blocks,
-            ]
-            for t in self.kernel_rows()
-        ]
+        """Per-kernel timestamp table plus the ASCII stream Gantt (Fig. 6).
+
+        The duration column is derived from the *rounded* start/end
+        columns, so every row is internally consistent: displayed
+        duration always equals displayed end minus displayed start (the
+        raw ``KernelTrace`` values can round to a value 0.01 us apart
+        when start and end round in opposite directions).
+        """
+        rows = []
+        for t in self.kernel_rows():
+            start_us = round(t.start_s * 1e6, 2)
+            end_us = round(t.end_s * 1e6, 2)
+            rows.append(
+                [t.name, t.stream, start_us, end_us, round(end_us - start_us, 2), t.blocks]
+            )
         table = format_table(
             ["kernel", "stream", "start (us)", "end (us)", "duration (us)", "blocks"],
             rows,
@@ -79,6 +84,23 @@ class CommandLineProfiler:
             rows,
             title="performance counters",
         )
+
+    def to_chrome_trace(self) -> list[dict]:
+        """The schedule as Chrome trace events, one track per stream.
+
+        Reuses the :mod:`repro.obs.chrome` exporter, so the simulated
+        ``conckerneltrace`` loads in ``chrome://tracing`` / Perfetto
+        exactly like an engine-recorded trace.
+        """
+        return self._result.timeline.chrome_events(
+            process_name=f"gpusim [{self._result.mode.value}]"
+        )
+
+    def write_chrome_trace(self, path: str | Path) -> Path:
+        """Write :meth:`to_chrome_trace` as a loadable trace file."""
+        from repro.obs.chrome import write_chrome_trace
+
+        return write_chrome_trace(path, self.to_chrome_trace())
 
     def summary(self) -> str:
         """One-line schedule summary."""

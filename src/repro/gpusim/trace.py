@@ -67,6 +67,21 @@ class Timeline:
                 count += 1
         return count
 
+    def chrome_events(
+        self, *, anchor_us: float = 0.0, pid: int = 2, process_name: str = "gpusim"
+    ) -> list[dict]:
+        """Chrome trace-event dicts, one track (tid) per stream.
+
+        Delegates to :func:`repro.obs.chrome.kernel_events` so the
+        simulated timeline loads in ``chrome://tracing`` / Perfetto,
+        optionally shifted by ``anchor_us`` onto a host timeline.
+        """
+        from repro.obs.chrome import kernel_events
+
+        return kernel_events(
+            self.traces, anchor_us=anchor_us, pid=pid, process_name=process_name
+        )
+
     def by_stream(self) -> dict[int, list[KernelTrace]]:
         """Group traces per stream, preserving start order."""
         groups: dict[int, list[KernelTrace]] = {}

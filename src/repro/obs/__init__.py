@@ -1,0 +1,50 @@
+"""Observability: span tracing, metrics and Chrome-trace export.
+
+The paper's evaluation (Section V) is driven entirely by profiler
+artefacts — per-stream kernel timestamps, branch-efficiency counters,
+per-stage frame-time breakdowns.  :mod:`repro.gpusim` reproduces those
+for the *simulated* device; this package adds the complementary host
+side: a lightweight span tracer wrapping every Fig. 1 pipeline stage, a
+metrics registry (counters / gauges / histograms), and exporters that
+put real host spans and simulated per-stream kernel spans on one
+``chrome://tracing`` / Perfetto timeline.
+
+Everything is opt-in: the default :data:`NULL_TRACER` makes every
+instrumentation point a no-op with a shared, allocation-free context
+manager, and the determinism tests assert that enabling tracing does
+not change a single output byte.
+
+``repro.obs.capture.run_trace`` (imported directly, not re-exported
+here, to keep this package import-light) runs frames through the
+batched engine and returns the trace + metrics artefacts the
+``repro trace`` CLI writes.
+"""
+
+from repro.obs.chrome import (
+    engine_trace_events,
+    kernel_events,
+    span_events,
+    validate_chrome_events,
+    write_chrome_trace,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import build_snapshot, render_snapshot, stage_busy_seconds
+from repro.obs.tracer import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "span_events",
+    "kernel_events",
+    "engine_trace_events",
+    "validate_chrome_events",
+    "write_chrome_trace",
+    "build_snapshot",
+    "render_snapshot",
+    "stage_busy_seconds",
+]

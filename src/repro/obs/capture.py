@@ -1,0 +1,99 @@
+"""Record an instrumented engine run: the ``repro trace`` backend.
+
+Runs N synthetic frames through a traced :class:`~repro.detect.engine.
+DetectionEngine` and packages the three artefacts the CLI writes: the
+Chrome trace (host spans per worker thread + simulated per-stream kernel
+spans), the metrics snapshot, and the raw per-frame results.
+
+Imported as ``repro.obs.capture`` (not re-exported from the package
+``__init__``) so that ``repro.obs`` itself never imports the detection
+stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.obs.chrome import engine_trace_events, write_chrome_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import build_snapshot, render_snapshot, write_snapshot
+from repro.obs.tracer import Tracer
+
+__all__ = ["TraceCapture", "run_trace"]
+
+
+@dataclass
+class TraceCapture:
+    """Everything one instrumented run produced."""
+
+    frames: int
+    workers: int
+    results: list = field(repr=False)
+    events: list[dict] = field(repr=False)
+    snapshot: dict = field(repr=False)
+    tracer: Tracer = field(repr=False)
+    metrics: MetricsRegistry = field(repr=False)
+
+    def write_trace(self, path: str | Path) -> Path:
+        return write_chrome_trace(path, self.events)
+
+    def write_metrics(self, path: str | Path) -> Path:
+        return write_snapshot(path, self.snapshot)
+
+    def render_snapshot(self) -> str:
+        return render_snapshot(self.snapshot)
+
+
+def run_trace(
+    *,
+    frames: int = 8,
+    workers: int = 2,
+    width: int = 480,
+    height: int = 270,
+    cascade: str = "quick",
+    faces: int = 2,
+    seed: int = 0,
+    pipeline=None,
+) -> TraceCapture:
+    """Run ``frames`` synthetic frames through a fully traced engine.
+
+    ``pipeline`` overrides the cascade choice with a prebuilt
+    :class:`~repro.detect.pipeline.FaceDetectionPipeline` (tests use tiny
+    cascades this way).
+    """
+    # local imports: keep repro.obs importable without the detection stack
+    from repro import zoo
+    from repro.detect.engine import DetectionEngine
+    from repro.detect.pipeline import FaceDetectionPipeline
+    from repro.video.stream import synthetic_stream
+
+    if frames <= 0:
+        raise ConfigurationError("frames must be positive")
+    if pipeline is None:
+        cascades = {
+            "quick": zoo.quick_cascade,
+            "paper": zoo.paper_cascade,
+            "opencv": zoo.opencv_like_cascade,
+        }
+        if cascade not in cascades:
+            raise ConfigurationError(
+                f"unknown cascade {cascade!r}; choose from {sorted(cascades)}"
+            )
+        pipeline = FaceDetectionPipeline(cascades[cascade](seed=0))
+
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    engine = DetectionEngine(pipeline, workers=workers, tracer=tracer, metrics=metrics)
+    stream = synthetic_stream(width, height, frames, faces=faces, seed=seed)
+    results = list(engine.process_frames(stream))
+    return TraceCapture(
+        frames=frames,
+        workers=engine.workers,
+        results=results,
+        events=engine_trace_events(tracer, results),
+        snapshot=build_snapshot(metrics, tracer),
+        tracer=tracer,
+        metrics=metrics,
+    )

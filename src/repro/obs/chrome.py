@@ -1,0 +1,185 @@
+"""Chrome trace-event exporter (``chrome://tracing`` / Perfetto).
+
+Emits the JSON array format documented by the Trace Event Format spec:
+complete events (``ph: "X"``) with microsecond ``ts``/``dur`` plus
+``process_name`` / ``thread_name`` metadata events.  Two processes share
+one timeline:
+
+* **pid 1 — host**: one track (tid) per real worker thread, carrying
+  the :class:`~repro.obs.tracer.Span` records of the Fig. 1 stages;
+* **pid 2 — gpusim**: one track per simulated CUDA stream, carrying the
+  :class:`~repro.gpusim.trace.KernelTrace` intervals of each frame's
+  schedule, anchored at the host instant the frame's span started — so
+  the simulated kernel overlap of Fig. 6 lines up under the real host
+  span that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "HOST_PID",
+    "GPUSIM_PID",
+    "span_events",
+    "kernel_events",
+    "engine_trace_events",
+    "validate_chrome_events",
+    "write_chrome_trace",
+]
+
+HOST_PID = 1
+GPUSIM_PID = 2
+
+
+def _process_meta(pid: int, name: str) -> dict:
+    return {"ph": "M", "pid": pid, "tid": 0, "name": "process_name", "args": {"name": name}}
+
+
+def _thread_meta(pid: int, tid: int, name: str) -> dict:
+    return {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name", "args": {"name": name}}
+
+
+def span_events(spans: list[Span], *, pid: int = HOST_PID, process_name: str = "host") -> list[dict]:
+    """Spans -> metadata + complete events, one track per source thread.
+
+    Thread ids are remapped to small stable tids (sorted by thread name
+    then ident) so the output is deterministic for a fixed set of
+    worker threads.
+    """
+    events = [_process_meta(pid, process_name)]
+    threads = sorted({(s.thread_name, s.thread_id) for s in spans})
+    tid_of = {key: tid for tid, key in enumerate(threads, start=1)}
+    for (name, _ident), tid in tid_of.items():
+        events.append(_thread_meta(pid, tid, name))
+    for s in spans:
+        events.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": tid_of[(s.thread_name, s.thread_id)],
+                "name": s.name,
+                "cat": s.cat,
+                "ts": round(s.start_us, 3),
+                "dur": round(s.dur_us, 3),
+                "args": dict(s.args),
+            }
+        )
+    return events
+
+
+def kernel_events(
+    traces,
+    *,
+    anchor_us: float = 0.0,
+    pid: int = GPUSIM_PID,
+    process_name: str | None = "gpusim",
+    frame: int | None = None,
+    thread_meta: bool = True,
+) -> list[dict]:
+    """Simulated kernel traces -> complete events, one track per stream.
+
+    ``anchor_us`` shifts the schedule's time zero onto the shared
+    timeline (the host instant the frame started).  ``traces`` is any
+    iterable of :class:`~repro.gpusim.trace.KernelTrace`-shaped objects.
+    """
+    events: list[dict] = []
+    if process_name is not None:
+        events.append(_process_meta(pid, process_name))
+    traces = list(traces)
+    if thread_meta:
+        for stream in sorted({t.stream for t in traces}):
+            events.append(_thread_meta(pid, stream, f"stream {stream}"))
+    for t in traces:
+        args = {
+            "blocks": int(t.blocks),
+            "branch_efficiency": round(float(t.counters.branch_efficiency), 6),
+            "issue_us": round(t.issue_s * 1e6, 3),
+        }
+        if frame is not None:
+            args["frame"] = frame
+        events.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": t.stream,
+                "name": t.name,
+                "cat": t.tag or "kernel",
+                "ts": round(anchor_us + t.start_s * 1e6, 3),
+                "dur": round(t.duration_s * 1e6, 3),
+                "args": args,
+            }
+        )
+    return events
+
+
+def engine_trace_events(tracer: Tracer, results) -> list[dict]:
+    """Merge an engine run's host spans and simulated schedules.
+
+    ``results`` are the ordered :class:`~repro.detect.pipeline.FrameResult`
+    list of the run.  Each frame's simulated timeline is anchored at the
+    host start of that frame's ``frame`` span (recorded by
+    :class:`~repro.detect.engine.DetectionEngine`); frames with no such
+    span are laid out back-to-back after the last anchored one.
+    """
+    spans = tracer.spans()
+    events = span_events(spans)
+    anchors = {
+        s.args.get("frame"): s.start_us
+        for s in spans
+        if s.name == "frame" and s.args.get("frame") is not None
+    }
+    events.append(_process_meta(GPUSIM_PID, "gpusim"))
+    seen_streams: set[int] = set()
+    cursor = 0.0
+    for index, result in enumerate(results):
+        anchor = anchors.get(index, cursor)
+        traces = result.schedule.timeline.traces
+        for stream in sorted({t.stream for t in traces} - seen_streams):
+            events.append(_thread_meta(GPUSIM_PID, stream, f"stream {stream}"))
+            seen_streams.add(stream)
+        events.extend(
+            kernel_events(
+                traces, anchor_us=anchor, frame=index, process_name=None, thread_meta=False
+            )
+        )
+        cursor = anchor + result.schedule.makespan_s * 1e6
+    return events
+
+
+def validate_chrome_events(events) -> None:
+    """Raise :class:`ReproError` unless ``events`` is loadable by Chrome.
+
+    Structural checks only: the payload must be JSON-serialisable, every
+    event needs a phase, and complete events need the ``ts``/``dur``/
+    ``pid``/``tid``/``name`` fields with sane values.
+    """
+    try:
+        json.dumps(events)
+    except (TypeError, ValueError) as exc:
+        raise ReproError(f"trace events are not JSON-serialisable: {exc}") from exc
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ReproError(f"event {i} is not an object: {event!r}")
+        ph = event.get("ph")
+        if not ph:
+            raise ReproError(f"event {i} has no phase ('ph'): {event!r}")
+        if ph == "X":
+            for key in ("ts", "dur", "pid", "tid", "name"):
+                if key not in event:
+                    raise ReproError(f"complete event {i} lacks {key!r}: {event!r}")
+            if event["dur"] < 0:
+                raise ReproError(f"complete event {i} has negative dur: {event!r}")
+
+
+def write_chrome_trace(path: str | Path, events: list[dict]) -> Path:
+    """Validate and write ``events`` in the JSON-object trace format."""
+    validate_chrome_events(events)
+    path = Path(path)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    path.write_text(json.dumps(payload, indent=1) + "\n")
+    return path

@@ -1,0 +1,183 @@
+"""Counters, gauges and histograms for the detection engine.
+
+A deliberately small registry in the Prometheus idiom: metrics are
+created on first use, every instrument is thread-safe, and
+:meth:`MetricsRegistry.snapshot` renders a *deterministically ordered*
+JSON-serialisable dict (names sorted, derived statistics computed with
+fixed rules), so snapshots of two identical seeded runs compare equal on
+everything that is not a wall-clock measurement.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(f"counters only go up; got {amount!r}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A last-value instrument that also tracks its observed maximum."""
+
+    __slots__ = ("_value", "_max", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def max(self) -> float:
+        """Largest value ever set (0.0 before the first ``set``)."""
+        return self._max if math.isfinite(self._max) else 0.0
+
+
+class Histogram:
+    """Stores every observation; percentiles by the nearest-rank rule.
+
+    The engine observes a few values per frame, so keeping raw samples
+    (rather than fixed buckets) is cheap and makes p50/p95 exact.
+    """
+
+    __slots__ = ("_values", "_lock")
+
+    def __init__(self) -> None:
+        self._values: list[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return sum(self._values)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile (``p`` in [0, 100]); 0.0 when empty."""
+        if not 0.0 <= p <= 100.0:
+            raise ConfigurationError(f"percentile must be in [0, 100], got {p!r}")
+        with self._lock:
+            values = sorted(self._values)
+        if not values:
+            return 0.0
+        rank = max(1, math.ceil(p / 100.0 * len(values)))
+        return values[rank - 1]
+
+    def summary(self) -> dict:
+        """count / sum / min / mean / p50 / p95 / max as a plain dict."""
+        with self._lock:
+            values = sorted(self._values)
+        if not values:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "mean": 0.0,
+                    "p50": 0.0, "p95": 0.0, "max": 0.0}
+        n = len(values)
+        total = sum(values)
+
+        def rank(p: float) -> float:
+            return values[max(1, math.ceil(p / 100.0 * n)) - 1]
+
+        return {
+            "count": n,
+            "sum": total,
+            "min": values[0],
+            "mean": total / n,
+            "p50": rank(50.0),
+            "p95": rank(95.0),
+            "max": values[-1],
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    A name is bound to one instrument kind for the registry's lifetime;
+    asking for the same name with a different kind is a configuration
+    error (it would silently split a metric into two series).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, kind: type):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind()
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise ConfigurationError(
+                    f"metric {name!r} is a {type(metric).__name__}, not a {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self) -> dict:
+        """Deterministically ordered dump of every instrument.
+
+        Shape: ``{"counters": {...}, "gauges": {...}, "histograms": {...}}``
+        with names sorted inside each section.
+        """
+        with self._lock:
+            items = sorted(self._metrics.items())
+        counters: dict[str, float] = {}
+        gauges: dict[str, dict] = {}
+        histograms: dict[str, dict] = {}
+        for name, metric in items:
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = {"value": metric.value, "max": metric.max}
+            else:
+                histograms[name] = metric.summary()
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}

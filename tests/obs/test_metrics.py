@@ -1,0 +1,136 @@
+"""Metrics registry contract and snapshot determinism under a seeded run."""
+
+import threading
+
+import pytest
+
+from repro.detect.engine import DetectionEngine
+from repro.detect.pipeline import FaceDetectionPipeline
+from repro.errors import ConfigurationError
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import build_snapshot
+from repro.obs.tracer import Tracer
+from repro.utils.rng import rng_for
+from repro.video.synthesis import render_scene
+from repro.zoo import quick_cascade
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+    def test_gauge_tracks_max(self):
+        g = Gauge()
+        assert g.max == 0.0
+        g.set(3.0)
+        g.set(1.0)
+        assert g.value == 1.0
+        assert g.max == 3.0
+
+    def test_histogram_percentiles_nearest_rank(self):
+        h = Histogram()
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.percentile(50) == 50.0
+        assert h.percentile(95) == 95.0
+        assert h.percentile(100) == 100.0
+        assert h.percentile(0) == 1.0
+        with pytest.raises(ConfigurationError):
+            h.percentile(101)
+
+    def test_histogram_summary_empty(self):
+        assert Histogram().summary()["count"] == 0
+
+    def test_histogram_summary(self):
+        h = Histogram()
+        for v in (4.0, 1.0, 3.0, 2.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["min"] == 1.0
+        assert s["max"] == 4.0
+        assert s["mean"] == 2.5
+        assert s["p50"] == 2.0
+
+
+class TestRegistry:
+    def test_get_or_create_and_kind_conflict(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("a")
+
+    def test_snapshot_sections_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z.count").inc()
+        reg.counter("a.count").inc()
+        reg.gauge("g").set(2)
+        reg.histogram("h").observe(1.0)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a.count", "z.count"]
+        assert snap["gauges"]["g"] == {"value": 2, "max": 2}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_thread_safe_counting(self):
+        reg = MetricsRegistry()
+
+        def work():
+            for _ in range(500):
+                reg.counter("n").inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("n").value == 2000
+
+
+class TestSnapshotDeterminism:
+    """Two identical seeded runs must agree on everything non-temporal."""
+
+    @pytest.fixture(scope="class")
+    def frames(self):
+        return [
+            render_scene(96, 72, faces=1, rng=rng_for(3, "obs-seeded", i))[0]
+            for i in range(4)
+        ]
+
+    def _run(self, frames):
+        pipeline = FaceDetectionPipeline(quick_cascade(seed=0))
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        engine = DetectionEngine(pipeline, workers=2, tracer=tracer, metrics=registry)
+        list(engine.process_frames(iter(frames)))
+        return build_snapshot(registry, tracer)
+
+    def test_seeded_runs_agree(self, frames):
+        a = self._run(frames)
+        b = self._run(frames)
+        # identical structure everywhere
+        assert set(a) == set(b)
+        assert set(a["counters"]) == set(b["counters"])
+        assert set(a["gauges"]) == set(b["gauges"])
+        assert set(a["histograms"]) == set(b["histograms"])
+        assert set(a["stage_busy_seconds"]) == set(b["stage_busy_seconds"])
+        # identical values for everything that is not a wall-clock sample
+        assert a["counters"] == b["counters"]
+        assert a["stage1_rejection_rate"] == b["stage1_rejection_rate"]
+        for name, hist in a["histograms"].items():
+            assert hist["count"] == b["histograms"][name]["count"]
+
+    def test_snapshot_has_acceptance_fields(self, frames):
+        snap = self._run(frames)
+        assert snap["stage_busy_seconds"]  # per-stage busy-seconds
+        assert {"pyramid.antialias", "pyramid.scale", "integral", "cascade", "grouping",
+                "schedule", "frame"} <= set(snap["stage_busy_seconds"])
+        latency = snap["histograms"]["engine.frame_latency_s"]
+        assert latency["count"] == 4
+        assert latency["p95"] >= latency["p50"] > 0.0
+        assert snap["max_queue_depth"] >= 1
+        assert 0.0 <= snap["stage1_rejection_rate"] <= 1.0

@@ -1,0 +1,105 @@
+"""Tracer contract: nesting, thread-safety, and the disabled fast path."""
+
+import json
+import threading
+
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+
+class TestSpans:
+    def test_records_interval(self):
+        tracer = Tracer()
+        with tracer.span("work", cat="test", level=3):
+            pass
+        (span,) = tracer.spans()
+        assert span.name == "work"
+        assert span.cat == "test"
+        assert span.args == {"level": 3}
+        assert span.dur_us >= 0.0
+        assert span.end_us == span.start_us + span.dur_us
+        assert span.thread_name == threading.current_thread().name
+
+    def test_nesting_records_both_and_contains_child(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        spans = {s.name: s for s in tracer.spans()}
+        assert set(spans) == {"outer", "inner"}
+        # inner finishes first (completion order) and lies inside outer
+        assert tracer.spans()[0].name == "inner"
+        outer, inner = spans["outer"], spans["inner"]
+        assert outer.start_us <= inner.start_us
+        assert inner.end_us <= outer.end_us
+
+    def test_span_survives_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert [s.name for s in tracer.spans()] == ["boom"]
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_appends_lose_nothing(self):
+        tracer = Tracer()
+        n_threads, per_thread = 8, 200
+
+        def work():
+            for i in range(per_thread):
+                with tracer.span("t"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = tracer.spans()
+        assert len(spans) == n_threads * per_thread
+        # thread names are unique per Thread object (idents can be reused)
+        assert len({s.thread_name for s in spans}) == n_threads
+
+    def test_spans_returns_snapshot_copy(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        snap = tracer.spans()
+        snap.clear()
+        assert len(tracer.spans()) == 1
+
+
+class TestDisabledFastPath:
+    def test_null_tracer_shares_one_context_manager(self):
+        # zero-allocation fast path: every call hands back the same object
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+        assert Tracer(enabled=False).span("a") is NULL_TRACER.span("a")
+
+    def test_null_tracer_records_nothing(self):
+        with NULL_TRACER.span("invisible"):
+            pass
+        assert len(NULL_TRACER) == 0
+        assert not NULL_TRACER.enabled
+
+    def test_disabled_context_manager_is_reentrant(self):
+        cm = NULL_TRACER.span("x")
+        with cm:
+            with cm:
+                pass
+        assert NULL_TRACER.spans() == []
+
+    def test_span_args_are_json_serialisable(self):
+        tracer = Tracer()
+        with tracer.span("k", frame=2, tag="integral"):
+            pass
+        (span,) = tracer.spans()
+        json.dumps(span.args)

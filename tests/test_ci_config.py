@@ -69,3 +69,24 @@ def test_bench_job_smoke_and_artifact(workflow):
         step for step in job["steps"] if "upload-artifact" in str(step.get("uses", ""))
     )
     assert upload["with"]["path"] == "BENCH_throughput.json"
+
+
+def test_bench_job_records_and_uploads_trace(workflow):
+    """The bench smoke job must run ``repro trace`` and upload its output."""
+    job = workflow["jobs"]["bench"]
+    trace_step = next(
+        (step for step in job["steps"] if "repro trace" in str(step.get("run", ""))),
+        None,
+    )
+    assert trace_step is not None, "no 'repro trace' step in the bench job"
+    assert "TRACE_engine.json" in trace_step["run"]
+    uploads = [
+        step for step in job["steps"] if "upload-artifact" in str(step.get("uses", ""))
+    ]
+    trace_upload = next(
+        (step for step in uploads if "TRACE_engine.json" in str(step["with"]["path"])),
+        None,
+    )
+    assert trace_upload is not None, "trace output is not uploaded as an artifact"
+    assert "TRACE_metrics.json" in str(trace_upload["with"]["path"])
+    assert trace_upload["with"].get("if-no-files-found") == "error"

@@ -56,6 +56,34 @@ class TestCommands:
     def test_bench_unknown(self, capsys):
         assert main(["bench", "fig99"]) == 2
 
+    def test_trace(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--frames", "2",
+                    "--workers", "2",
+                    "--width", "120",
+                    "--height", "90",
+                    "--output", str(trace_path),
+                    "--metrics-output", str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "traced 2 frames on 2 workers" in out
+        assert "host stage busy time" in out
+        payload = json.loads(trace_path.read_text())
+        assert payload["traceEvents"]
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["counters"]["engine.frames"] == 2
+        assert "stage_busy_seconds" in snapshot
+
     def test_detect_demo_scene(self, capsys, tmp_path):
         out_path = tmp_path / "annotated.ppm"
         code = main(
@@ -75,7 +103,7 @@ class TestCommands:
         frame, _ = render_scene(160, 120, faces=1, rng=rng_for(3, "cli"))
         path = tmp_path / "scene.pgm"
         path.write_bytes(
-            f"P5 160 120 255\n".encode() + frame.astype(np.uint8).tobytes()
+            "P5 160 120 255\n".encode() + frame.astype(np.uint8).tobytes()
         )
         assert main(["detect", str(path)]) == 0
         assert "simulated GPU time" in capsys.readouterr().out

@@ -1,0 +1,23 @@
+"""Benchmark provenance: git SHA, timestamp and environment fingerprint."""
+
+import re
+
+from repro.utils.provenance import git_sha, provenance
+
+
+def test_provenance_fields():
+    p = provenance()
+    assert set(p) == {"git_sha", "timestamp_utc", "python", "numpy", "platform"}
+    # ISO-8601 with explicit UTC offset
+    assert re.match(r"^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\+00:00$", p["timestamp_utc"])
+    assert re.match(r"^\d+\.\d+", p["python"])
+
+
+def test_git_sha_is_hex_or_unknown():
+    sha = git_sha()
+    assert sha == "unknown" or re.fullmatch(r"[0-9a-f]{40}", sha)
+
+
+def test_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_GIT_SHA", "deadbeef")
+    assert git_sha() == "deadbeef"
