@@ -50,15 +50,20 @@ def test_throughput_engine(report):
     assert payload["batch_report"]["frames"] == result.frames
     assert payload["batch_report"]["simulated_fps"] > 0
 
-    # provenance: bench trajectory points must be comparable across PRs
+    # provenance: bench trajectory points must be comparable across PRs,
+    # and points from different compute backends must stay separate series
     assert payload["schema_version"] == 2
     prov = payload["provenance"]
     assert {"git_sha", "timestamp_utc", "python", "numpy", "platform"} <= set(prov)
+    assert payload["backend"] == result.backend
+    assert prov["backend"] == result.backend
     assert payload["workers"] == 4
     assert (payload["frame_width"], payload["frame_height"]) == (_WIDTH, _HEIGHT)
 
     # the embedded observability snapshot of the instrumented pass
     metrics = payload["metrics"]
+    assert metrics["backend"]["active"] == result.backend
+    assert result.backend in metrics["backend"]["registered"]
     assert metrics["counters"]["engine.frames"] == result.frames
     assert metrics["histograms"]["engine.frame_latency_s"]["count"] == result.frames
     assert metrics["histograms"]["engine.frame_latency_s"]["p95"] > 0

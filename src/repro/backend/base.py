@@ -1,0 +1,180 @@
+"""The compute-backend seam: every per-frame numeric kernel behind one ABC.
+
+The Fig. 1 pipeline is a fixed chain of compute steps — anti-alias
+filtering, pyramid scaling, integral images, cascade evaluation.  A
+:class:`ComputeBackend` owns the *numeric* side of each step; the layers
+above it (:mod:`repro.detect.pipeline`, :mod:`repro.detect.engine`) keep
+the orchestration, the timing-model launches and the simulated schedules.
+Swapping the backend must never change a single output byte — the
+:mod:`repro.backend.oracle` differ and the cross-backend golden tests
+enforce that contract, which is what makes a future CuPy/Torch backend
+verifiable against the NumPy reference (ROADMAP "GPU-backend hook").
+
+Method ↔ Fig. 1 stage map:
+
+===============================  =======================================
+backend method                   Fig. 1 stage
+===============================  =======================================
+``antialias``                    Filtering (binomial low-pass)
+``downscale`` / bilinear plans   Scaling (``tex2D`` bilinear fetches)
+``integral_image`` / ``squared_integral_image`` / integral plans
+                                 Integral image (scan + transpose chain)
+``transpose``                    Integral image (the transpose kernels)
+``make_cascade_evaluator``       Face detection kernel (dense + sparse
+                                 stage evaluation, variance norms)
+===============================  =======================================
+
+Plans (``make_*_plan`` / ``make_cascade_evaluator``) are the reusable,
+buffer-owning form of each kernel: the throughput engine builds them once
+per geometry and replays them every frame.  Plans are **not** thread-safe
+— each engine worker owns its own — while the backend object itself must
+be stateless and shareable.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar
+
+import numpy as np
+
+if TYPE_CHECKING:  # typing only: keep repro.backend import-light
+    from repro.detect.windows import BlockMapping
+    from repro.haar.cascade import Cascade
+
+__all__ = [
+    "SPARSE_THRESHOLD",
+    "WINDOW_AREA",
+    "BilinearPlan",
+    "IntegralPlan",
+    "CascadeMaps",
+    "CascadeEvaluator",
+    "ComputeBackend",
+]
+
+#: default dense->sparse switch point of the cascade evaluation: gather only
+#: surviving anchors once fewer than this fraction of the grid is alive
+SPARSE_THRESHOLD = 0.04
+
+#: window area used by the variance normalisation (24x24 training window)
+WINDOW_AREA = 24 * 24
+
+
+class BilinearPlan(ABC):
+    """Precomputed bilinear resample for one fixed (src, dst) geometry.
+
+    Reproduces :meth:`repro.image.texture.Texture2D.fetch` bit-for-bit
+    (texel centres at ``+0.5``, clamp-to-edge, float32 lerp weights).
+    """
+
+    @abstractmethod
+    def apply(self, src: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Resample ``src`` into a fresh (or provided) destination grid."""
+
+
+class IntegralPlan(ABC):
+    """Reusable integral + squared-integral computation for one geometry.
+
+    The returned arrays are padded ``(h+1, w+1)`` float64 with zero first
+    row/column and are *owned by the plan* — they are overwritten by the
+    next :meth:`compute` call, exactly like device-resident buffers.
+    """
+
+    height: int
+    width: int
+
+    @property
+    def stride(self) -> int:
+        """Row stride of the flattened padded integral image."""
+        return self.width + 1
+
+    @abstractmethod
+    def compute(self, image: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(ii, sqii)`` padded integral images of ``image``."""
+
+
+@dataclass
+class CascadeMaps:
+    """Functional output of one cascade evaluation over an anchor grid."""
+
+    depth_map: np.ndarray  # (ay, ax) int32: stages passed per anchor
+    margin_map: np.ndarray  # (ay, ax) float64: last evaluated stage margin
+    sigma_map: np.ndarray  # (ay, ax) float64: per-window pixel std devs
+
+
+class CascadeEvaluator(ABC):
+    """Reusable cascade evaluation for one (cascade, level geometry) pair.
+
+    Owns all per-level scratch; the maps returned by :meth:`evaluate` are
+    freshly allocated (they outlive the call), the scratch is not.  Not
+    thread-safe — one evaluator per engine worker per level.
+    """
+
+    @abstractmethod
+    def evaluate(self, ii: np.ndarray, sqii: np.ndarray) -> CascadeMaps:
+        """Walk every anchor through the cascade (padded integrals in)."""
+
+
+class ComputeBackend(ABC):
+    """One implementation of every per-frame numeric kernel (see module doc)."""
+
+    #: registry name; also recorded in bench/trace provenance
+    name: ClassVar[str] = "abstract"
+
+    # -- Fig. 1 "Filtering" --------------------------------------------------
+
+    @abstractmethod
+    def antialias(self, image: np.ndarray, scale: float) -> np.ndarray:
+        """Low-pass ``image`` ahead of subsampling by ``scale``."""
+
+    # -- Fig. 1 "Scaling" ----------------------------------------------------
+
+    @abstractmethod
+    def downscale(self, image: np.ndarray, out_width: int, out_height: int) -> np.ndarray:
+        """One-shot bilinear resample (the ``tex2D`` gather of Section III-A)."""
+
+    @abstractmethod
+    def make_bilinear_plan(
+        self, src_h: int, src_w: int, dst_h: int, dst_w: int
+    ) -> BilinearPlan:
+        """Reusable resampling plan for one fixed geometry."""
+
+    # -- Fig. 1 "Integral image" ---------------------------------------------
+
+    @abstractmethod
+    def integral_image(self, image: np.ndarray) -> np.ndarray:
+        """Padded ``(h+1, w+1)`` float64 integral image."""
+
+    @abstractmethod
+    def squared_integral_image(self, image: np.ndarray) -> np.ndarray:
+        """Padded integral image of squared pixels (variance norms)."""
+
+    @abstractmethod
+    def transpose(self, matrix: np.ndarray) -> np.ndarray:
+        """Matrix transpose (the Ruetsch/Micikevicius tiled kernel)."""
+
+    @abstractmethod
+    def make_integral_plan(self, height: int, width: int) -> IntegralPlan:
+        """Reusable integral computation with persistent buffers."""
+
+    # -- Fig. 1 "Face detection kernel" --------------------------------------
+
+    @abstractmethod
+    def make_cascade_evaluator(
+        self,
+        cascade: "Cascade",
+        mapping: "BlockMapping",
+        *,
+        sparse_threshold: float | None = None,
+    ) -> CascadeEvaluator:
+        """Reusable evaluator for one cascade over one level geometry.
+
+        ``sparse_threshold`` overrides the backend's dense->sparse switch
+        point (a live-anchor fraction; negative never switches).  The
+        switch point is a pure execution-strategy knob: results are
+        byte-identical at every value.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"

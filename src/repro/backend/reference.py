@@ -1,0 +1,424 @@
+"""The ``reference`` backend: the original NumPy kernels, now behind the seam.
+
+Every method is the pre-existing implementation *moved, not rewritten* —
+the pyramid/filtering/integral primitives delegate to :mod:`repro.image`,
+and the cascade evaluator is the dense/sparse stage code that previously
+lived as private copies inside :mod:`repro.detect.engine`.  This backend
+is the byte-identity oracle every other backend is differenced against
+(:mod:`repro.backend.oracle`).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.backend.base import (
+    SPARSE_THRESHOLD,
+    WINDOW_AREA,
+    BilinearPlan,
+    CascadeEvaluator,
+    CascadeMaps,
+    ComputeBackend,
+    IntegralPlan,
+)
+from repro.errors import ConfigurationError
+from repro.haar.features import feature_rects
+
+__all__ = [
+    "ClassifierPlan",
+    "StagePlan",
+    "cascade_plan",
+    "flat_offsets",
+    "ReferenceBilinearPlan",
+    "ReferenceIntegralPlan",
+    "ReferenceCascadeEvaluator",
+    "ReferenceBackend",
+]
+
+
+# ---------------------------------------------------------------------------
+# cascade evaluation plan (frame independent, shared per cascade)
+
+
+class ClassifierPlan:
+    """One weak classifier, with its rectangles resolved once."""
+
+    __slots__ = ("rects", "threshold", "left", "right")
+
+    def __init__(self, classifier) -> None:
+        self.rects = tuple(
+            (r.x, r.y, r.x + r.w, r.y + r.h, r.weight)
+            for r in feature_rects(classifier.feature)
+        )
+        self.threshold = classifier.threshold
+        self.left = classifier.left
+        self.right = classifier.right
+
+
+class StagePlan:
+    __slots__ = ("classifiers", "threshold")
+
+    def __init__(self, stage) -> None:
+        self.classifiers = tuple(ClassifierPlan(c) for c in stage.classifiers)
+        self.threshold = stage.threshold
+
+
+@lru_cache(maxsize=16)
+def cascade_plan(cascade) -> tuple[StagePlan, ...]:
+    """Resolve every stage's rectangles/thresholds into plain tuples.
+
+    A naive evaluator re-reads ``feature_rects`` (an ``lru_cache`` keyed by
+    hashing the feature) for every classifier of every level of every
+    frame; the plan pays the hash cost once per cascade.
+    """
+    if cascade.window != 24:
+        raise ConfigurationError("the kernel is specialised for 24x24 windows")
+    return tuple(StagePlan(s) for s in cascade.stages)
+
+
+@lru_cache(maxsize=64)
+def flat_offsets(plan: tuple[StagePlan, ...], stride: int):
+    """Per-stage corner-offset arrays into the flattened integral image.
+
+    For a rectangle corner ``(y, x)`` the flat index is ``y * stride + x``.
+    Each classifier gets an ``(n_rects, 4, 1)`` int64 array ordered
+    ``[A, B, C, D]`` per rectangle, so one broadcast add + one ``take``
+    gathers every corner term while the per-rectangle combination keeps
+    the reference order (A - B - C + D).  Cached per (plan, stride): the
+    offset arrays are read-only and shared across evaluators.
+    """
+    out = []
+    for stage in plan:
+        stage_offs = []
+        for cl in stage.classifiers:
+            offs = np.array(
+                [
+                    (
+                        y1 * stride + x1,
+                        y0 * stride + x1,
+                        y1 * stride + x0,
+                        y0 * stride + x0,
+                    )
+                    for (x0, y0, x1, y1, _wt) in cl.rects
+                ],
+                dtype=np.int64,
+            )[:, :, np.newaxis]
+            weights = tuple(wt for (_x0, _y0, _x1, _y1, wt) in cl.rects)
+            stage_offs.append((offs, weights))
+        out.append(tuple(stage_offs))
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# pyramid resampling plan (frame independent, per geometry)
+
+
+class ReferenceBilinearPlan(BilinearPlan):
+    """Precomputed ``tex2D`` bilinear gather for one (src, dst) geometry.
+
+    Index and weight arrays reproduce :meth:`repro.image.texture.
+    Texture2D.fetch` exactly (texel centres at ``+0.5``, clamp-to-edge,
+    float32 lerp weights), so applying the plan yields the same bits as
+    building a :class:`Texture2D` and fetching the grid.
+    """
+
+    __slots__ = ("y0", "y1", "fy", "omfy", "x0", "x1", "fx", "omfx", "rows0", "rows1", "g")
+
+    def __init__(self, src_h: int, src_w: int, dst_h: int, dst_w: int) -> None:
+        sx = src_w / dst_w
+        sy = src_h / dst_h
+        xs = (np.arange(dst_w, dtype=np.float64) + 0.5) * sx
+        ys = (np.arange(dst_h, dtype=np.float64) + 0.5) * sy
+        xf = xs - 0.5
+        yf = ys - 0.5
+        x0 = np.floor(xf).astype(np.int64)
+        y0 = np.floor(yf).astype(np.int64)
+        fx = (xf - x0).astype(np.float32)
+        fy = (yf - y0).astype(np.float32)
+        self.x0 = np.clip(x0, 0, src_w - 1)
+        self.x1 = np.clip(x0 + 1, 0, src_w - 1)
+        self.y0 = np.clip(y0, 0, src_h - 1)
+        self.y1 = np.clip(y0 + 1, 0, src_h - 1)
+        self.fx = fx
+        self.omfx = (1.0 - fx).astype(np.float32)
+        self.fy = fy[:, np.newaxis]
+        self.omfy = (1.0 - fy).astype(np.float32)[:, np.newaxis]
+        # scratch: two row-gather panels plus four corner grids
+        self.rows0 = np.empty((dst_h, src_w), dtype=np.float32)
+        self.rows1 = np.empty((dst_h, src_w), dtype=np.float32)
+        self.g = [np.empty((dst_h, dst_w), dtype=np.float32) for _ in range(4)]
+
+    def apply(self, src: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Resample ``src`` into a fresh (or provided) ``(dst_h, dst_w)`` grid."""
+        g00, g01, g10, g11 = self.g
+        np.take(src, self.y0, axis=0, out=self.rows0)
+        np.take(src, self.y1, axis=0, out=self.rows1)
+        np.take(self.rows0, self.x0, axis=1, out=g00)
+        np.take(self.rows0, self.x1, axis=1, out=g01)
+        np.take(self.rows1, self.x0, axis=1, out=g10)
+        np.take(self.rows1, self.x1, axis=1, out=g11)
+        # top = d[y0, x0] * (1 - fx) + d[y0, x1] * fx  (float32, as tex2D)
+        np.multiply(g00, self.omfx, out=g00)
+        np.multiply(g01, self.fx, out=g01)
+        np.add(g00, g01, out=g00)
+        # bottom = d[y1, x0] * (1 - fx) + d[y1, x1] * fx
+        np.multiply(g10, self.omfx, out=g10)
+        np.multiply(g11, self.fx, out=g11)
+        np.add(g10, g11, out=g10)
+        # result = top * (1 - fy) + bottom * fy
+        np.multiply(g00, self.omfy, out=g00)
+        np.multiply(g10, self.fy, out=g10)
+        if out is None:
+            return np.add(g00, g10)
+        np.add(g00, g10, out=out)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# integral images (persistent zero-border buffers)
+
+
+class ReferenceIntegralPlan(IntegralPlan):
+    """Integral + squared integral into persistent padded buffers."""
+
+    def __init__(self, height: int, width: int) -> None:
+        if height <= 0 or width <= 0:
+            raise ConfigurationError("image dimensions must be positive")
+        self.height = height
+        self.width = width
+        self._img64 = np.empty((height, width), dtype=np.float64)
+        self._sq64 = np.empty((height, width), dtype=np.float64)
+        self._cum0 = np.empty((height, width), dtype=np.float64)
+        # zero borders persist across frames
+        self._ii = np.zeros((height + 1, width + 1), dtype=np.float64)
+        self._sqii = np.zeros((height + 1, width + 1), dtype=np.float64)
+
+    def compute(self, image: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        self._img64[...] = image
+        np.cumsum(self._img64, axis=0, out=self._cum0)
+        np.cumsum(self._cum0, axis=1, out=self._ii[1:, 1:])
+        np.multiply(self._img64, self._img64, out=self._sq64)
+        np.cumsum(self._sq64, axis=0, out=self._cum0)
+        np.cumsum(self._cum0, axis=1, out=self._sqii[1:, 1:])
+        return self._ii, self._sqii
+
+
+# ---------------------------------------------------------------------------
+# cascade evaluation (dense grid stages, then sparse survivor gathers)
+
+
+class ReferenceCascadeEvaluator(CascadeEvaluator):
+    """The engine's dense/sparse stage evaluation, owning its scratch."""
+
+    def __init__(self, cascade, mapping, *, sparse_threshold: float | None = None) -> None:
+        self._plan = cascade_plan(cascade)
+        self._n_stages = cascade.num_stages
+        self._mapping = mapping
+        if sparse_threshold is None:
+            sparse_threshold = self._default_sparse_threshold()
+        self._sparse_threshold = sparse_threshold
+        ay, ax = mapping.anchors_y, mapping.anchors_x
+        self._ay, self._ax = ay, ax
+        self._window = mapping.window
+        self._stride = mapping.level_width + 1
+        self._flat_offsets = flat_offsets(self._plan, self._stride)
+
+        # dense-stage scratch grids
+        self._wsum = np.empty((ay, ax), dtype=np.float64)
+        self._wsq = np.empty((ay, ax), dtype=np.float64)
+        self._mean = np.empty((ay, ax), dtype=np.float64)
+        self._ga = np.empty((ay, ax), dtype=np.float64)
+        self._vals = np.empty((ay, ax), dtype=np.float64)
+        self._tmp = np.empty((ay, ax), dtype=np.float64)
+        self._ts = np.empty((ay, ax), dtype=np.float64)
+        self._wbuf = np.empty((ay, ax), dtype=np.float64)
+        self._sums = np.empty((ay, ax), dtype=np.float64)
+        self._mask = np.empty((ay, ax), dtype=bool)
+        self._alive = np.empty((ay, ax), dtype=bool)
+        self._passed = np.empty((ay, ax), dtype=bool)
+
+        # sparse-stage scratch (bounded by the dense->sparse switch point)
+        nmax = int(max(64, sparse_threshold * ay * ax)) + 1
+        self._s_base = np.empty(nmax, dtype=np.int64)
+        self._s_t1 = np.empty(nmax, dtype=np.float64)
+        self._s_vals = np.empty(nmax, dtype=np.float64)
+        self._s_ts = np.empty(nmax, dtype=np.float64)
+        self._s_wv = np.empty(nmax, dtype=np.float64)
+        self._s_sums = np.empty(nmax, dtype=np.float64)
+        self._s_mask = np.empty(nmax, dtype=bool)
+
+    def _default_sparse_threshold(self) -> float:
+        # read at construction time so tests can monkeypatch the module global
+        return SPARSE_THRESHOLD
+
+    def evaluate(self, ii: np.ndarray, sqii: np.ndarray) -> CascadeMaps:
+        ay, ax = self._ay, self._ax
+        w = self._window
+        area = WINDOW_AREA
+
+        # window sums and variance normalisation (identical op order)
+        np.subtract(ii[w:, w:], ii[:-w, w:], out=self._wsum)
+        np.subtract(self._wsum, ii[w:, :-w], out=self._wsum)
+        np.add(self._wsum, ii[:-w, :-w], out=self._wsum)
+        np.subtract(sqii[w:, w:], sqii[:-w, w:], out=self._wsq)
+        np.subtract(self._wsq, sqii[w:, :-w], out=self._wsq)
+        np.add(self._wsq, sqii[:-w, :-w], out=self._wsq)
+        np.divide(self._wsum, area, out=self._mean)
+        sigma = np.empty((ay, ax), dtype=np.float64)
+        np.divide(self._wsq, area, out=self._ga)
+        np.multiply(self._mean, self._mean, out=self._tmp)
+        np.subtract(self._ga, self._tmp, out=self._ga)
+        np.maximum(self._ga, 1.0, out=self._ga)
+        np.sqrt(self._ga, out=sigma)
+
+        depth = np.zeros((ay, ax), dtype=np.int32)
+        margin = np.zeros((ay, ax), dtype=np.float64)
+        alive = self._alive
+        alive.fill(True)
+        passed = self._passed
+        sparse: tuple[np.ndarray, np.ndarray] | None = None
+        total = ay * ax
+        flat = ii.reshape(-1)
+
+        for stage_idx, stage in enumerate(self._plan):
+            if sparse is None:
+                live = int(alive.sum())
+                if live == 0:
+                    break
+                if live < max(64, self._sparse_threshold * total):
+                    sparse = np.nonzero(alive)
+            if sparse is not None:
+                sparse = self._sparse_stage(
+                    stage_idx, stage, flat, sigma, depth, margin, sparse
+                )
+                if sparse is None:
+                    break
+            else:
+                self._dense_stage(stage, ii, sigma, depth, margin, alive, passed)
+                alive, passed = passed, alive
+
+        return CascadeMaps(depth_map=depth, margin_map=margin, sigma_map=sigma)
+
+    def _dense_stage(self, stage, ii, sigma, depth, margin, alive, passed) -> None:
+        ay, ax = self._ay, self._ax
+        sums = self._sums
+        sums.fill(0.0)
+        for cl in stage.classifiers:
+            vals = self._vals
+            vals.fill(0.0)
+            for x0, y0, x1, y1, wt in cl.rects:
+                # out += wt * (A - B - C + D), replayed in the same order
+                np.subtract(
+                    ii[y1 : y1 + ay, x1 : x1 + ax],
+                    ii[y0 : y0 + ay, x1 : x1 + ax],
+                    out=self._tmp,
+                )
+                np.subtract(self._tmp, ii[y1 : y1 + ay, x0 : x0 + ax], out=self._tmp)
+                np.add(self._tmp, ii[y0 : y0 + ay, x0 : x0 + ax], out=self._tmp)
+                np.multiply(self._tmp, wt, out=self._tmp)
+                np.add(vals, self._tmp, out=vals)
+            np.multiply(sigma, cl.threshold, out=self._ts)
+            np.less_equal(vals, self._ts, out=self._mask)
+            np.copyto(self._wbuf, cl.right)
+            np.copyto(self._wbuf, cl.left, where=self._mask)
+            np.add(sums, self._wbuf, out=sums)
+        np.subtract(sums, stage.threshold, out=self._tmp)
+        margin[alive] = self._tmp[alive]
+        np.greater_equal(sums, stage.threshold, out=self._mask)
+        np.logical_and(alive, self._mask, out=passed)
+        depth[passed] += 1
+
+    def _sparse_stage(self, stage_idx, stage, flat, sigma, depth, margin, sparse):
+        ys, xs = sparse
+        if ys.size == 0:
+            return None
+        offsets = self._flat_offsets[stage_idx]
+        n = ys.size
+        sig = sigma[ys, xs]
+        base = self._s_base[:n]
+        np.multiply(ys, self._stride, out=base)
+        np.add(base, xs, out=base)
+        sums = self._s_sums[:n]
+        sums.fill(0.0)
+        t1 = self._s_t1[:n]
+        ts = self._s_ts[:n]
+        wv = self._s_wv[:n]
+        mask = self._s_mask[:n]
+        vals = self._s_vals[:n]
+        for cl, (offs, weights) in zip(stage.classifiers, offsets):
+            # gather all corners of all rects at once: (n_rects, 4, n)
+            corners = flat.take(offs + base)
+            vals.fill(0.0)
+            for r, wt in enumerate(weights):
+                g = corners[r]
+                np.subtract(g[0], g[1], out=t1)
+                np.subtract(t1, g[2], out=t1)
+                np.add(t1, g[3], out=t1)
+                np.multiply(t1, wt, out=t1)
+                np.add(vals, t1, out=vals)
+            np.multiply(sig, cl.threshold, out=ts)
+            np.less_equal(vals, ts, out=mask)
+            np.copyto(wv, cl.right)
+            np.copyto(wv, cl.left, where=mask)
+            np.add(sums, wv, out=sums)
+        np.subtract(sums, stage.threshold, out=t1)
+        margin[ys, xs] = t1
+        np.greater_equal(sums, stage.threshold, out=mask)
+        ys_next = ys[mask]
+        xs_next = xs[mask]
+        depth[ys_next, xs_next] += 1
+        return ys_next, xs_next
+
+
+# ---------------------------------------------------------------------------
+# the backend object
+
+
+class ReferenceBackend(ComputeBackend):
+    """The NumPy oracle: delegates to the original :mod:`repro.image` code."""
+
+    name = "reference"
+
+    def antialias(self, image: np.ndarray, scale: float) -> np.ndarray:
+        from repro.image.filtering import antialias
+
+        return antialias(image, scale)
+
+    def downscale(self, image: np.ndarray, out_width: int, out_height: int) -> np.ndarray:
+        # the original build_pyramid path: a texture object per resample
+        from repro.image.pyramid import downscale
+        from repro.image.texture import Texture2D
+
+        return downscale(Texture2D(image), out_width, out_height)
+
+    def make_bilinear_plan(
+        self, src_h: int, src_w: int, dst_h: int, dst_w: int
+    ) -> ReferenceBilinearPlan:
+        return ReferenceBilinearPlan(src_h, src_w, dst_h, dst_w)
+
+    def integral_image(self, image: np.ndarray) -> np.ndarray:
+        from repro.image.integral import integral_image
+
+        return integral_image(image)
+
+    def squared_integral_image(self, image: np.ndarray) -> np.ndarray:
+        from repro.image.integral import squared_integral_image
+
+        return squared_integral_image(image)
+
+    def transpose(self, matrix: np.ndarray) -> np.ndarray:
+        from repro.image.transpose import tiled_transpose
+
+        return tiled_transpose(matrix)
+
+    def make_integral_plan(self, height: int, width: int) -> ReferenceIntegralPlan:
+        return ReferenceIntegralPlan(height, width)
+
+    def make_cascade_evaluator(
+        self, cascade, mapping, *, sparse_threshold: float | None = None
+    ) -> ReferenceCascadeEvaluator:
+        return ReferenceCascadeEvaluator(
+            cascade, mapping, sparse_threshold=sparse_threshold
+        )

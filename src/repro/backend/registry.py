@@ -1,0 +1,88 @@
+"""Backend registry: name -> :class:`~repro.backend.base.ComputeBackend`.
+
+Selection precedence, highest first:
+
+1. an explicit name (``PipelineConfig(backend="vectorized")``, CLI
+   ``--backend``, a direct :func:`get_backend` call);
+2. the ``REPRO_BACKEND`` environment variable (how CI runs the whole
+   tier-1 suite once per backend);
+3. the built-in default, ``"reference"``.
+
+Backends must be stateless (plans carry all state), so one instance per
+name is cached and shared across pipelines and threads.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections.abc import Callable
+
+from repro.backend.base import ComputeBackend
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "register_backend",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+]
+
+DEFAULT_BACKEND = "reference"
+
+#: environment variable consulted when no explicit backend name is given
+ENV_VAR = "REPRO_BACKEND"
+
+_lock = threading.Lock()
+_factories: dict[str, Callable[[], ComputeBackend]] = {}
+_instances: dict[str, ComputeBackend] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[[], ComputeBackend], *, replace: bool = False
+) -> None:
+    """Register ``factory`` under ``name`` (lazily instantiated, cached)."""
+    if not name or not name.isidentifier():
+        raise ConfigurationError(f"backend name must be an identifier, got {name!r}")
+    with _lock:
+        if name in _factories and not replace:
+            raise ConfigurationError(f"backend {name!r} is already registered")
+        _factories[name] = factory
+        _instances.pop(name, None)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    with _lock:
+        return tuple(sorted(_factories))
+
+
+def default_backend_name() -> str:
+    """The name used when no explicit backend is requested (env-aware)."""
+    return os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+
+
+def get_backend(name: str | ComputeBackend | None = None) -> ComputeBackend:
+    """Resolve ``name`` (or the env/default chain) to a backend instance.
+
+    Accepts an already-resolved :class:`ComputeBackend` unchanged, so
+    call sites can thread either a registry name or an instance through.
+    """
+    if isinstance(name, ComputeBackend):
+        return name
+    resolved = name or default_backend_name()
+    with _lock:
+        instance = _instances.get(resolved)
+        if instance is not None:
+            return instance
+        factory = _factories.get(resolved)
+        if factory is None:
+            raise ConfigurationError(
+                f"unknown compute backend {resolved!r}; "
+                f"choose from {sorted(_factories)}"
+            )
+        instance = factory()
+        _instances[resolved] = instance
+        return instance

@@ -1,0 +1,30 @@
+"""Warp tiling shared by every launch builder that costs the cascade kernel.
+
+The timing layer prices a block by its warps' deepest lanes (SIMT: a warp
+keeps executing a stage while *any* lane is alive).  :func:`tile_warps`
+reshapes a block-padded per-anchor array into per-warp lane groups; it was
+previously duplicated inside :mod:`repro.detect.kernels`,
+:mod:`repro.detect.engine` and :mod:`repro.detect.soft_kernel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["tile_warps"]
+
+
+def tile_warps(
+    padded: np.ndarray, blocks_y: int, block_h: int, blocks_x: int, block_w: int
+) -> np.ndarray:
+    """Regroup a ``(blocks_y*block_h, blocks_x*block_w)`` grid into warps.
+
+    Returns shape ``(blocks_y*blocks_x, warps_per_block, 32)``: axis 0 walks
+    blocks row-major, axis 1 the warps of each block, axis 2 the 32 lanes.
+    ``block_w * block_h`` must be a multiple of the 32-lane warp width.
+    """
+    return (
+        padded.reshape(blocks_y, block_h, blocks_x, block_w)
+        .transpose(0, 2, 1, 3)
+        .reshape(blocks_y * blocks_x, -1, 32)
+    )

@@ -196,6 +196,7 @@ def _cmd_bench_throughput(args: argparse.Namespace) -> int:
         height=args.height,
         trials=args.trials,
         cascade=args.cascade,
+        backend=args.backend,
     )
     print(result.format_table())
     path = result.write_json(args.output)
@@ -214,12 +215,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         cascade=args.cascade,
         faces=args.faces,
         seed=args.seed,
+        backend=args.backend,
     )
     trace_path = capture.write_trace(args.output)
     metrics_path = capture.write_metrics(args.metrics_output)
     print(capture.render_snapshot())
     print(
         f"\ntraced {capture.frames} frames on {capture.workers} workers"
+        f" ({capture.backend} backend)"
         f"\nchrome trace -> {trace_path}  (open via chrome://tracing or ui.perfetto.dev)"
         f"\nmetrics snapshot -> {metrics_path}"
     )
@@ -304,6 +307,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="cascade profile (throughput)",
     )
     p.add_argument(
+        "--backend",
+        default=None,
+        help="compute backend (reference/vectorized; default: $REPRO_BACKEND "
+        "or reference) (throughput)",
+    )
+    p.add_argument(
         "--output",
         default="BENCH_throughput.json",
         help="JSON artifact path (throughput)",
@@ -325,6 +334,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--faces", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--backend",
+        default=None,
+        help="compute backend (reference/vectorized; default: $REPRO_BACKEND "
+        "or reference)",
+    )
     p.add_argument(
         "--output", "-o", default="TRACE_engine.json", help="Chrome trace JSON path"
     )

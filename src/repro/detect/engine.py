@@ -8,15 +8,18 @@ the host.  Two pieces:
   runs the exact Fig. 1 pipeline of
   :meth:`~repro.detect.pipeline.FaceDetectionPipeline.process_frame`, but
   keeps every frame-independent artefact alive between frames: pyramid
-  resampling plans (precomputed bilinear gather indices/weights), cached
-  :class:`~repro.detect.windows.BlockMapping` geometry, launch templates
-  for the filtering/scaling/integral kernels with precomputed cost-model
-  cohorts, preallocated integral-image buffers and per-stage scratch
-  arrays.  One-shot ``process_frame`` rebuilds all of this per frame; the
-  workspace amortises it across a whole video.  Every arithmetic step
-  replays the reference implementation operation-for-operation, so the
-  functional output (detections, depth maps, schedules) is *identical* —
-  the determinism tests assert exact equality.
+  resampling plans, cached :class:`~repro.detect.windows.BlockMapping`
+  geometry, launch templates for the filtering/scaling/integral/cascade
+  kernels with precomputed cost-model state, and the per-level
+  integral-image plans and cascade evaluators of the active
+  :class:`~repro.backend.base.ComputeBackend`.  One-shot ``process_frame``
+  rebuilds all of this per frame; the workspace amortises it across a
+  whole video.  The numeric kernels themselves live behind the backend
+  seam, and the ``reference`` backend replays the original implementation
+  operation-for-operation, so the functional output (detections, depth
+  maps, schedules) is *identical* — the determinism tests assert exact
+  equality, and the cross-backend oracle extends the same contract to
+  every other backend.
 
 * :class:`DetectionEngine` — runs N frames in flight on a
   ``concurrent.futures`` thread pool, one workspace per worker, with
@@ -38,13 +41,16 @@ from collections import deque
 from collections.abc import Iterable, Iterator
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from functools import lru_cache
 
 import numpy as np
 
-from repro.detect import kernels as _K
+from repro.backend.base import BilinearPlan, ComputeBackend
 from repro.detect.display import display_launch
-from repro.detect.kernels import CascadeKernelResult
+from repro.detect.kernels import (
+    CascadeKernelResult,
+    CascadeLaunchTemplate,
+    cascade_launch_costs,
+)
 from repro.detect.pipeline import (
     FaceDetectionPipeline,
     FrameResult,
@@ -53,13 +59,11 @@ from repro.detect.pipeline import (
 from repro.detect.windows import BlockMapping
 from repro.errors import ConfigurationError
 from repro.gpusim.batch import BatchReport
-from repro.gpusim.kernel import BlockWork, KernelLaunch, LaunchConfig
+from repro.gpusim.kernel import KernelLaunch
 from repro.gpusim.scheduler import ExecutionMode
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.haar.cascade import Cascade
-from repro.haar.features import feature_rects
-from repro.image.filtering import antialias, filtering_launch
+from repro.image.filtering import filtering_launch
 from repro.image.integral import integral_launches
 from repro.image.pyramid import PyramidLevel, pyramid_scales, scaling_launch
 from repro.utils.validation import check_shape_2d
@@ -68,148 +72,16 @@ __all__ = ["FrameWorkspace", "DetectionEngine", "EngineRun", "batch_report"]
 
 
 # ---------------------------------------------------------------------------
-# cascade evaluation plan (frame independent, shared per cascade)
-
-
-class _ClassifierPlan:
-    """One weak classifier, with its rectangles resolved once."""
-
-    __slots__ = ("rects", "threshold", "left", "right")
-
-    def __init__(self, classifier) -> None:
-        self.rects = tuple(
-            (r.x, r.y, r.x + r.w, r.y + r.h, r.weight)
-            for r in feature_rects(classifier.feature)
-        )
-        self.threshold = classifier.threshold
-        self.left = classifier.left
-        self.right = classifier.right
-
-
-class _StagePlan:
-    __slots__ = ("classifiers", "threshold")
-
-    def __init__(self, stage) -> None:
-        self.classifiers = tuple(_ClassifierPlan(c) for c in stage.classifiers)
-        self.threshold = stage.threshold
-
-
-@lru_cache(maxsize=16)
-def _cascade_plan(cascade: Cascade) -> tuple[_StagePlan, ...]:
-    """Resolve every stage's rectangles/thresholds into plain tuples.
-
-    The one-shot kernel re-reads ``feature_rects`` (an ``lru_cache`` keyed
-    by hashing the feature) for every classifier of every level of every
-    frame; the plan pays the hash cost once per cascade.
-    """
-    if cascade.window != 24:
-        raise ConfigurationError("the kernel is specialised for 24x24 windows")
-    return tuple(_StagePlan(s) for s in cascade.stages)
-
-
-def _flat_offsets(plan: tuple[_StagePlan, ...], stride: int):
-    """Per-stage corner-offset arrays into the flattened integral image.
-
-    For a rectangle corner ``(y, x)`` the flat index is ``y * stride + x``.
-    Each classifier gets an ``(n_rects, 4, 1)`` int64 array ordered
-    ``[A, B, C, D]`` per rectangle, so one broadcast add + one ``take``
-    gathers every corner term while the per-rectangle combination keeps
-    the reference order (A - B - C + D).
-    """
-    out = []
-    for stage in plan:
-        stage_offs = []
-        for cl in stage.classifiers:
-            offs = np.array(
-                [
-                    (
-                        y1 * stride + x1,
-                        y0 * stride + x1,
-                        y1 * stride + x0,
-                        y0 * stride + x0,
-                    )
-                    for (x0, y0, x1, y1, _wt) in cl.rects
-                ],
-                dtype=np.int64,
-            )[:, :, np.newaxis]
-            weights = tuple(wt for (_x0, _y0, _x1, _y1, wt) in cl.rects)
-            stage_offs.append((offs, weights))
-        out.append(tuple(stage_offs))
-    return tuple(out)
-
-
-# ---------------------------------------------------------------------------
-# pyramid resampling plan (frame independent, per geometry)
-
-
-class _BilinearPlan:
-    """Precomputed ``tex2D`` bilinear gather for one (src, dst) geometry.
-
-    Index and weight arrays reproduce :meth:`repro.image.texture.
-    Texture2D.fetch` exactly (texel centres at ``+0.5``, clamp-to-edge,
-    float32 lerp weights), so applying the plan yields the same bits as
-    building a :class:`Texture2D` and fetching the grid.
-    """
-
-    __slots__ = ("y0", "y1", "fy", "omfy", "x0", "x1", "fx", "omfx", "rows0", "rows1", "g")
-
-    def __init__(self, src_h: int, src_w: int, dst_h: int, dst_w: int) -> None:
-        sx = src_w / dst_w
-        sy = src_h / dst_h
-        xs = (np.arange(dst_w, dtype=np.float64) + 0.5) * sx
-        ys = (np.arange(dst_h, dtype=np.float64) + 0.5) * sy
-        xf = xs - 0.5
-        yf = ys - 0.5
-        x0 = np.floor(xf).astype(np.int64)
-        y0 = np.floor(yf).astype(np.int64)
-        fx = (xf - x0).astype(np.float32)
-        fy = (yf - y0).astype(np.float32)
-        self.x0 = np.clip(x0, 0, src_w - 1)
-        self.x1 = np.clip(x0 + 1, 0, src_w - 1)
-        self.y0 = np.clip(y0, 0, src_h - 1)
-        self.y1 = np.clip(y0 + 1, 0, src_h - 1)
-        self.fx = fx
-        self.omfx = (1.0 - fx).astype(np.float32)
-        self.fy = fy[:, np.newaxis]
-        self.omfy = (1.0 - fy).astype(np.float32)[:, np.newaxis]
-        # scratch: two row-gather panels plus four corner grids
-        self.rows0 = np.empty((dst_h, src_w), dtype=np.float32)
-        self.rows1 = np.empty((dst_h, src_w), dtype=np.float32)
-        self.g = [np.empty((dst_h, dst_w), dtype=np.float32) for _ in range(4)]
-
-    def apply(self, src: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """Resample ``src`` into a fresh (or provided) ``(dst_h, dst_w)`` grid."""
-        g00, g01, g10, g11 = self.g
-        np.take(src, self.y0, axis=0, out=self.rows0)
-        np.take(src, self.y1, axis=0, out=self.rows1)
-        np.take(self.rows0, self.x0, axis=1, out=g00)
-        np.take(self.rows0, self.x1, axis=1, out=g01)
-        np.take(self.rows1, self.x0, axis=1, out=g10)
-        np.take(self.rows1, self.x1, axis=1, out=g11)
-        # top = d[y0, x0] * (1 - fx) + d[y0, x1] * fx  (float32, as tex2D)
-        np.multiply(g00, self.omfx, out=g00)
-        np.multiply(g01, self.fx, out=g01)
-        np.add(g00, g01, out=g00)
-        # bottom = d[y1, x0] * (1 - fx) + d[y1, x1] * fx
-        np.multiply(g10, self.omfx, out=g10)
-        np.multiply(g11, self.fx, out=g11)
-        np.add(g10, g11, out=g10)
-        # result = top * (1 - fy) + bottom * fy
-        np.multiply(g00, self.omfy, out=g00)
-        np.multiply(g10, self.fy, out=g10)
-        if out is None:
-            return np.add(g00, g10)
-        np.add(g00, g10, out=out)
-        return out
+# frame-independent per-level state
 
 
 class _LevelState:
-    """Per-pyramid-level scratch and cached launch templates."""
+    """Per-pyramid-level backend plans and cached launch templates."""
 
     def __init__(
         self,
         pipeline: FaceDetectionPipeline,
-        plan: tuple[_StagePlan, ...],
+        backend: ComputeBackend,
         index: int,
         scale: float,
         width: int,
@@ -253,67 +125,31 @@ class _LevelState:
             block_w=pipeline.config.block_w,
             block_h=pipeline.config.block_h,
         )
-        ay, ax = self.mapping.anchors_y, self.mapping.anchors_x
-        self.ay, self.ax = ay, ax
 
-        # integral-image buffers (zero borders persist across frames)
-        self.img64 = np.empty((height, width), dtype=np.float64)
-        self.sq64 = np.empty((height, width), dtype=np.float64)
-        self.cum0 = np.empty((height, width), dtype=np.float64)
-        self.ii = np.zeros((height + 1, width + 1), dtype=np.float64)
-        self.sqii = np.zeros((height + 1, width + 1), dtype=np.float64)
-        self.stride = width + 1
+        # the backend side of the seam: reusable, buffer-owning kernels
+        self.integral_plan = backend.make_integral_plan(height, width)
+        self.evaluator = backend.make_cascade_evaluator(pipeline.cascade, self.mapping)
+        self.bilinear: BilinearPlan | None = None  # set by _Geometry
 
-        # dense-stage scratch grids
-        self.wsum = np.empty((ay, ax), dtype=np.float64)
-        self.wsq = np.empty((ay, ax), dtype=np.float64)
-        self.mean = np.empty((ay, ax), dtype=np.float64)
-        self.ga = np.empty((ay, ax), dtype=np.float64)
-        self.vals = np.empty((ay, ax), dtype=np.float64)
-        self.tmp = np.empty((ay, ax), dtype=np.float64)
-        self.ts = np.empty((ay, ax), dtype=np.float64)
-        self.wbuf = np.empty((ay, ax), dtype=np.float64)
-        self.sums = np.empty((ay, ax), dtype=np.float64)
-        self.mask = np.empty((ay, ax), dtype=bool)
-        self.alive = np.empty((ay, ax), dtype=bool)
-        self.passed = np.empty((ay, ax), dtype=bool)
-
-        # sparse-stage scratch (bounded by the dense->sparse switch point)
-        nmax = int(max(64, _K._SPARSE_THRESHOLD * ay * ax)) + 1
-        self.s_base = np.empty(nmax, dtype=np.int64)
-        self.s_t1 = np.empty(nmax, dtype=np.float64)
-        self.s_vals = np.empty(nmax, dtype=np.float64)
-        self.s_ts = np.empty(nmax, dtype=np.float64)
-        self.s_wv = np.empty(nmax, dtype=np.float64)
-        self.s_sums = np.empty(nmax, dtype=np.float64)
-        self.s_mask = np.empty(nmax, dtype=bool)
-
-        self.flat_offsets = _flat_offsets(plan, self.stride)
-        self.bilinear: _BilinearPlan | None = None  # set by _Geometry
-
-        # cascade-launch scratch and frame-independent launch parameters
-        m = self.mapping
-        self.pad_lo = np.empty((m.blocks_y * m.block_h, m.blocks_x * m.block_w), dtype=np.int32)
-        self.pad_hi = np.empty_like(self.pad_lo)
-        self.staging = _K.INSTR_STAGING_PER_THREAD * m.threads_per_block / 32.0
-        self.dram_read = 2.0 * m.shared_tile_bytes * (1.0 - _K.L2_HIT_RATE)
-        self.dram_write = m.threads_per_block * 4.0
-        self.launch_config = LaunchConfig(
-            grid_blocks=m.grid_blocks,
-            threads_per_block=m.threads_per_block,
-            regs_per_thread=24,
-            shared_mem_per_block=m.shared_tile_bytes,
+        self.launch_template = CascadeLaunchTemplate(
+            cascade_launch_costs(pipeline.cascade),
+            self.mapping,
+            stream,
+            name=f"cascade_s{index}",
         )
-        self.launch_name = f"cascade_s{index}"
 
 
 class _Geometry:
     """Everything frame-independent for one ``(height, width)`` frame shape."""
 
-    def __init__(self, pipeline: FaceDetectionPipeline, shape: tuple[int, int]) -> None:
+    def __init__(
+        self,
+        pipeline: FaceDetectionPipeline,
+        backend: ComputeBackend,
+        shape: tuple[int, int],
+    ) -> None:
         height, width = shape
         config = pipeline.config.pyramid
-        plan = _cascade_plan(pipeline.cascade)
         self.shape = shape
         scales = pyramid_scales(width, height, config)
 
@@ -322,10 +158,13 @@ class _Geometry:
         while max(octave_shapes[-1]) // 2 >= config.min_image_side:
             ph, pw = octave_shapes[-1]
             octave_shapes.append((max(ph // 2, 1), max(pw // 2, 1)))
-        self.octave_plans: list[tuple[_BilinearPlan, np.ndarray]] = []
+        self.octave_plans: list[tuple[BilinearPlan, np.ndarray]] = []
         for (ph, pw), (oh, ow) in zip(octave_shapes, octave_shapes[1:]):
             self.octave_plans.append(
-                (_BilinearPlan(ph, pw, oh, ow), np.empty((oh, ow), dtype=np.float32))
+                (
+                    backend.make_bilinear_plan(ph, pw, oh, ow),
+                    np.empty((oh, ow), dtype=np.float32),
+                )
             )
         n_octaves = len(octave_shapes)
 
@@ -336,10 +175,10 @@ class _Geometry:
             octave = 0
             if index > 0:
                 octave = min(int(np.floor(np.log2(scale))), n_octaves - 1)
-            state = _LevelState(pipeline, plan, index, scale, w, h, octave)
+            state = _LevelState(pipeline, backend, index, scale, w, h, octave)
             if index > 0:
                 oh, ow = octave_shapes[octave]
-                state.bilinear = _BilinearPlan(oh, ow, h, w)
+                state.bilinear = backend.make_bilinear_plan(oh, ow, h, w)
             self.levels.append(state)
 
         self.display_stream = len(scales) + 1
@@ -366,27 +205,18 @@ class FrameWorkspace:
     def __init__(self, pipeline: FaceDetectionPipeline, tracer: Tracer | None = None) -> None:
         self._pipeline = pipeline
         self._tracer = tracer if tracer is not None else NULL_TRACER
-        self._cascade = pipeline.cascade
-        self._plan = _cascade_plan(pipeline.cascade)
+        self._backend = pipeline.backend
         self._n_stages = pipeline.cascade.num_stages
         self._geometries: dict[tuple[int, int], _Geometry] = {}
-        # Cumulative per-stage cost-model arrays, resolved once per worker:
-        # the one-shot kernel's launch builder re-reads them through
-        # lru_caches keyed by hashing the whole cascade on every level of
-        # every frame.
-        self._cum_instr = np.concatenate(
-            [[0.0], np.cumsum(_K.stage_instruction_costs(self._cascade))]
-        )
-        self._cum_shared = np.concatenate(
-            [[0.0], np.cumsum(_K._stage_shared_bytes(self._cascade))]
-        )
-        self._cum_const = np.concatenate(
-            [[0.0], np.cumsum(_K._stage_const_requests(self._cascade))]
-        )
 
     @property
     def pipeline(self) -> FaceDetectionPipeline:
         return self._pipeline
+
+    @property
+    def backend(self) -> ComputeBackend:
+        """The compute backend whose plans this workspace replays."""
+        return self._backend
 
     def process_frame(
         self, luma: np.ndarray, mode: ExecutionMode | None = None
@@ -401,7 +231,7 @@ class FrameWorkspace:
         img = np.asarray(arr, dtype=np.float32)
         geo = self._geometries.get(img.shape)
         if geo is None:
-            geo = _Geometry(self._pipeline, img.shape)
+            geo = _Geometry(self._pipeline, self._backend, img.shape)
             self._geometries[img.shape] = geo
 
         tracer = self._tracer
@@ -412,10 +242,10 @@ class FrameWorkspace:
         for state, level in zip(geo.levels, levels):
             launches.extend(state.pre_launches)
             with tracer.span("integral"):
-                self._integrals(state, level.image)
+                ii, sqii = state.integral_plan.compute(level.image)
             launches.extend(state.integral_launches)
             with tracer.span("cascade"):
-                result = self._cascade_eval(state, level)
+                result = self._cascade_eval(state, ii, sqii)
             launches.append(result.launch)
             kernel_results.append(result)
 
@@ -445,10 +275,11 @@ class FrameWorkspace:
 
     def _build_levels(self, geo: _Geometry, img: np.ndarray) -> list[PyramidLevel]:
         tracer = self._tracer
+        backend = self._backend
         octaves: list[np.ndarray] = [img]
         for plan, buf in geo.octave_plans:
             with tracer.span("pyramid.antialias"):
-                filtered = antialias(octaves[-1], 2.0)
+                filtered = backend.antialias(octaves[-1], 2.0)
             with tracer.span("pyramid.scale"):
                 octaves.append(plan.apply(filtered, out=buf))
         levels: list[PyramidLevel] = []
@@ -469,200 +300,21 @@ class FrameWorkspace:
             )
         return levels
 
-    # -- integral images ----------------------------------------------------
-
-    def _integrals(self, state: _LevelState, image: np.ndarray) -> None:
-        state.img64[...] = image
-        np.cumsum(state.img64, axis=0, out=state.cum0)
-        np.cumsum(state.cum0, axis=1, out=state.ii[1:, 1:])
-        np.multiply(state.img64, state.img64, out=state.sq64)
-        np.cumsum(state.sq64, axis=0, out=state.cum0)
-        np.cumsum(state.cum0, axis=1, out=state.sqii[1:, 1:])
-
     # -- cascade kernel ------------------------------------------------------
 
-    def _cascade_eval(self, state: _LevelState, level: PyramidLevel) -> CascadeKernelResult:
-        ii, sqii = state.ii, state.sqii
-        ay, ax = state.ay, state.ax
-        w = state.mapping.window
-        area = _K._WINDOW_AREA
-
-        # window sums and variance normalisation (identical op order)
-        np.subtract(ii[w:, w:], ii[:-w, w:], out=state.wsum)
-        np.subtract(state.wsum, ii[w:, :-w], out=state.wsum)
-        np.add(state.wsum, ii[:-w, :-w], out=state.wsum)
-        np.subtract(sqii[w:, w:], sqii[:-w, w:], out=state.wsq)
-        np.subtract(state.wsq, sqii[w:, :-w], out=state.wsq)
-        np.add(state.wsq, sqii[:-w, :-w], out=state.wsq)
-        np.divide(state.wsum, area, out=state.mean)
-        sigma = np.empty((ay, ax), dtype=np.float64)
-        np.divide(state.wsq, area, out=state.ga)
-        np.multiply(state.mean, state.mean, out=state.tmp)
-        np.subtract(state.ga, state.tmp, out=state.ga)
-        np.maximum(state.ga, 1.0, out=state.ga)
-        np.sqrt(state.ga, out=sigma)
-
-        depth = np.zeros((ay, ax), dtype=np.int32)
-        margin = np.zeros((ay, ax), dtype=np.float64)
-        alive = state.alive
-        alive.fill(True)
-        passed = state.passed
-        sparse: tuple[np.ndarray, np.ndarray] | None = None
-        total = ay * ax
-        flat = ii.reshape(-1)
-
-        for stage_idx, stage in enumerate(self._plan):
-            if sparse is None:
-                live = int(alive.sum())
-                if live == 0:
-                    break
-                if live < max(64, _K._SPARSE_THRESHOLD * total):
-                    sparse = np.nonzero(alive)
-            if sparse is not None:
-                sparse = self._sparse_stage(
-                    state, stage, state.flat_offsets[stage_idx], flat,
-                    sigma, depth, margin, sparse,
-                )
-                if sparse is None:
-                    break
-            else:
-                self._dense_stage(state, stage, ii, sigma, depth, margin, alive, passed)
-                alive, passed = passed, alive
-
-        rejections = np.bincount(depth.ravel(), minlength=self._n_stages + 1)
-        launch = self._cascade_launch(state, depth)
+    def _cascade_eval(
+        self, state: _LevelState, ii: np.ndarray, sqii: np.ndarray
+    ) -> CascadeKernelResult:
+        maps = state.evaluator.evaluate(ii, sqii)
+        rejections = np.bincount(maps.depth_map.ravel(), minlength=self._n_stages + 1)
         return CascadeKernelResult(
-            depth_map=depth,
-            margin_map=margin,
-            sigma_map=sigma,
-            launch=launch,
+            depth_map=maps.depth_map,
+            margin_map=maps.margin_map,
+            sigma_map=maps.sigma_map,
+            launch=state.launch_template.build(maps.depth_map),
             mapping=state.mapping,
             rejections_by_depth=rejections,
         )
-
-    def _cascade_launch(self, state: _LevelState, depth: np.ndarray) -> KernelLaunch:
-        """Timing launch from measured anchor depths.
-
-        Value-identical to :func:`repro.detect.kernels._build_launch`, with
-        the per-cascade cumulative cost arrays and the frame-independent
-        launch parameters resolved at plan time instead of per frame.
-        """
-        m = state.mapping
-        bw, bh = m.block_w, m.block_h
-        by, bx = m.blocks_y, m.blocks_x
-        n_stages = self._n_stages
-
-        def tile_warps(padded: np.ndarray) -> np.ndarray:
-            return (
-                padded.reshape(by, bh, bx, bw)
-                .transpose(0, 2, 1, 3)
-                .reshape(by * bx, -1, 32)
-            )
-
-        pad_lo = state.pad_lo
-        pad_lo.fill(-1)
-        pad_lo[: depth.shape[0], : depth.shape[1]] = depth
-        pad_hi = state.pad_hi
-        pad_hi.fill(n_stages)
-        pad_hi[: depth.shape[0], : depth.shape[1]] = depth
-        warps_lo = tile_warps(pad_lo)
-        warps_hi = tile_warps(pad_hi)
-        lo_max = warps_lo.max(axis=2)
-        warp_exec = np.minimum(lo_max + 1, n_stages)
-        warp_min = np.minimum(np.minimum(warps_hi.min(axis=2), lo_max) + 1, n_stages)
-
-        gathered_instr = self._cum_instr[warp_exec]
-        instr = gathered_instr.sum(axis=1) + state.staging * warps_lo.shape[1]
-        shared = self._cum_shared[warp_exec].sum(axis=1) + m.shared_tile_bytes
-        const = self._cum_const[warp_exec].sum(axis=1)
-        branches = warp_exec.astype(np.float64) + gathered_instr / 20.0
-        divergent = (warp_exec - warp_min).astype(np.float64)
-
-        work = BlockWork(
-            warp_instructions=instr,
-            dram_bytes_read=np.full(m.grid_blocks, state.dram_read),
-            dram_bytes_written=np.full(m.grid_blocks, state.dram_write),
-            branches=branches.sum(axis=1),
-            divergent_branches=divergent.sum(axis=1),
-            shared_bytes=shared,
-            constant_requests=const,
-        )
-        return KernelLaunch(
-            name=state.launch_name,
-            config=state.launch_config,
-            work=work,
-            stream=state.stream,
-            tag="cascade",
-        )
-
-    def _dense_stage(self, state, stage, ii, sigma, depth, margin, alive, passed) -> None:
-        ay, ax = state.ay, state.ax
-        sums = state.sums
-        sums.fill(0.0)
-        for cl in stage.classifiers:
-            vals = state.vals
-            vals.fill(0.0)
-            for x0, y0, x1, y1, wt in cl.rects:
-                # out += wt * (A - B - C + D), replayed in the same order
-                np.subtract(
-                    ii[y1 : y1 + ay, x1 : x1 + ax],
-                    ii[y0 : y0 + ay, x1 : x1 + ax],
-                    out=state.tmp,
-                )
-                np.subtract(state.tmp, ii[y1 : y1 + ay, x0 : x0 + ax], out=state.tmp)
-                np.add(state.tmp, ii[y0 : y0 + ay, x0 : x0 + ax], out=state.tmp)
-                np.multiply(state.tmp, wt, out=state.tmp)
-                np.add(vals, state.tmp, out=vals)
-            np.multiply(sigma, cl.threshold, out=state.ts)
-            np.less_equal(vals, state.ts, out=state.mask)
-            np.copyto(state.wbuf, cl.right)
-            np.copyto(state.wbuf, cl.left, where=state.mask)
-            np.add(sums, state.wbuf, out=sums)
-        np.subtract(sums, stage.threshold, out=state.tmp)
-        margin[alive] = state.tmp[alive]
-        np.greater_equal(sums, stage.threshold, out=state.mask)
-        np.logical_and(alive, state.mask, out=passed)
-        depth[passed] += 1
-
-    def _sparse_stage(self, state, stage, offsets, flat, sigma, depth, margin, sparse):
-        ys, xs = sparse
-        if ys.size == 0:
-            return None
-        n = ys.size
-        sig = sigma[ys, xs]
-        base = state.s_base[:n]
-        np.multiply(ys, state.stride, out=base)
-        np.add(base, xs, out=base)
-        sums = state.s_sums[:n]
-        sums.fill(0.0)
-        t1 = state.s_t1[:n]
-        ts = state.s_ts[:n]
-        wv = state.s_wv[:n]
-        mask = state.s_mask[:n]
-        vals = state.s_vals[:n]
-        for cl, (offs, weights) in zip(stage.classifiers, offsets):
-            # gather all corners of all rects at once: (n_rects, 4, n)
-            corners = flat.take(offs + base)
-            vals.fill(0.0)
-            for r, wt in enumerate(weights):
-                g = corners[r]
-                np.subtract(g[0], g[1], out=t1)
-                np.subtract(t1, g[2], out=t1)
-                np.add(t1, g[3], out=t1)
-                np.multiply(t1, wt, out=t1)
-                np.add(vals, t1, out=vals)
-            np.multiply(sig, cl.threshold, out=ts)
-            np.less_equal(vals, ts, out=mask)
-            np.copyto(wv, cl.right)
-            np.copyto(wv, cl.left, where=mask)
-            np.add(sums, wv, out=sums)
-        np.subtract(sums, stage.threshold, out=t1)
-        margin[ys, xs] = t1
-        np.greater_equal(sums, stage.threshold, out=mask)
-        ys_next = ys[mask]
-        xs_next = xs[mask]
-        depth[ys_next, xs_next] += 1
-        return ys_next, xs_next
 
 
 # ---------------------------------------------------------------------------
@@ -784,6 +436,11 @@ class DetectionEngine:
     @property
     def pipeline(self) -> FaceDetectionPipeline:
         return self._pipeline
+
+    @property
+    def backend(self) -> ComputeBackend:
+        """The pipeline's compute backend (shared by every workspace)."""
+        return self._pipeline.backend
 
     @property
     def workers(self) -> int:

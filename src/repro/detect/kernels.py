@@ -19,9 +19,11 @@ Execution model mirrored from the paper:
   the divergence behaviour whose measured branch efficiency the paper
   reports as 98.9 %.
 
-The functional layer is fully vectorised: early stages evaluate densely over
-the whole anchor grid (cheap slice arithmetic while most anchors are alive),
-later stages gather only surviving anchors.
+The numeric evaluation itself lives behind the
+:class:`~repro.backend.base.ComputeBackend` seam (dense grid stages, then
+sparse survivor gathers); this module keeps the kernel's *launch* side:
+deriving the timing-layer :class:`KernelLaunch` from the measured anchor
+depths via :class:`CascadeLaunchTemplate`.
 """
 
 from __future__ import annotations
@@ -31,14 +33,22 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.backend.warps import tile_warps
 from repro.errors import ConfigurationError
 from repro.detect.windows import BlockMapping
 from repro.gpusim.kernel import BlockWork, KernelLaunch, LaunchConfig
 from repro.haar.cascade import Cascade
-from repro.haar.features import feature_rects, feature_values_at, feature_values_grid
+from repro.haar.features import feature_rects
 from repro.image.integral import integral_image, squared_integral_image
 
-__all__ = ["CascadeKernelResult", "cascade_eval_kernel", "stage_instruction_costs"]
+__all__ = [
+    "CascadeKernelResult",
+    "cascade_eval_kernel",
+    "stage_instruction_costs",
+    "CascadeLaunchCosts",
+    "cascade_launch_costs",
+    "CascadeLaunchTemplate",
+]
 
 # -- calibration constants (see DESIGN.md section 6) -------------------------
 #: warp instructions per Haar rectangle: 4 shared fetches + address math +
@@ -60,12 +70,6 @@ CONST_REQUESTS_PER_CLASSIFIER = 5.0
 #: tile (Eqs. 1-4), so almost all staging traffic is absorbed by the cache.
 #: This is why the paper measures only 9.57-532 MB/s of DRAM reads.
 L2_HIT_RATE = 0.985
-
-#: switch from dense grid evaluation to sparse gathers below this live ratio
-_SPARSE_THRESHOLD = 0.04
-
-#: window area used by the variance normalisation
-_WINDOW_AREA = 24 * 24
 
 
 @lru_cache(maxsize=64)
@@ -101,6 +105,117 @@ def _stage_const_requests(cascade: Cascade) -> np.ndarray:
     return np.array(
         [CONST_REQUESTS_PER_CLASSIFIER * len(s) + 1 for s in cascade.stages]
     )
+
+
+@dataclass(frozen=True)
+class CascadeLaunchCosts:
+    """Cumulative per-stage cost-model arrays of one cascade.
+
+    ``cum_*[k]`` is the cost of executing stages ``0..k-1``; indexing by a
+    warp's executed-stage count prices its whole cascade prefix at once.
+    """
+
+    cum_instr: np.ndarray
+    cum_shared: np.ndarray
+    cum_const: np.ndarray
+    n_stages: int
+
+
+@lru_cache(maxsize=16)
+def cascade_launch_costs(cascade: Cascade) -> CascadeLaunchCosts:
+    """Resolve the cumulative cost arrays once per cascade (hash-once)."""
+    return CascadeLaunchCosts(
+        cum_instr=np.concatenate([[0.0], np.cumsum(stage_instruction_costs(cascade))]),
+        cum_shared=np.concatenate([[0.0], np.cumsum(_stage_shared_bytes(cascade))]),
+        cum_const=np.concatenate([[0.0], np.cumsum(_stage_const_requests(cascade))]),
+        n_stages=cascade.num_stages,
+    )
+
+
+class CascadeLaunchTemplate:
+    """Frame-independent state for pricing cascade launches of one level.
+
+    Owns the padded depth buffers and the launch parameters that only
+    depend on (cascade, mapping, stream); :meth:`build` then derives the
+    per-frame :class:`KernelLaunch` from measured anchor depths.  The
+    engine caches one template per pyramid level; the one-shot kernel
+    builds a throwaway one per call.  Not thread-safe (persistent pads).
+    """
+
+    def __init__(
+        self,
+        costs: CascadeLaunchCosts,
+        mapping: BlockMapping,
+        stream: int,
+        name: str | None = None,
+    ) -> None:
+        self._costs = costs
+        self._mapping = mapping
+        self._stream = stream
+        self._name = name or f"cascade_{mapping.level_width}x{mapping.level_height}"
+        m = mapping
+        self._pad_lo = np.empty(
+            (m.blocks_y * m.block_h, m.blocks_x * m.block_w), dtype=np.int32
+        )
+        self._pad_hi = np.empty_like(self._pad_lo)
+        self._staging = INSTR_STAGING_PER_THREAD * m.threads_per_block / 32.0
+        self._dram_read = 2.0 * m.shared_tile_bytes * (1.0 - L2_HIT_RATE)
+        self._dram_write = m.threads_per_block * 4.0
+        self._config = LaunchConfig(
+            grid_blocks=m.grid_blocks,
+            threads_per_block=m.threads_per_block,
+            regs_per_thread=24,
+            shared_mem_per_block=m.shared_tile_bytes,
+        )
+
+    def build(self, depth: np.ndarray) -> KernelLaunch:
+        """Derive the timing-layer launch from the measured anchor depths."""
+        m = self._mapping
+        costs = self._costs
+        n_stages = costs.n_stages
+
+        # Out-of-grid lanes (edge blocks) exit at the bounds check: they add
+        # no work and no divergence.  Pad with -1 for the max (never deepens
+        # a warp) and with n_stages for the min (never widens its spread).
+        pad_lo = self._pad_lo
+        pad_lo.fill(-1)
+        pad_lo[: depth.shape[0], : depth.shape[1]] = depth
+        pad_hi = self._pad_hi
+        pad_hi.fill(n_stages)
+        pad_hi[: depth.shape[0], : depth.shape[1]] = depth
+        warps_lo = tile_warps(pad_lo, m.blocks_y, m.block_h, m.blocks_x, m.block_w)
+        warps_hi = tile_warps(pad_hi, m.blocks_y, m.block_h, m.blocks_x, m.block_w)
+        # a warp executes stage k while any lane is alive: stages executed =
+        # min(deepest lane depth + 1, S)
+        lo_max = warps_lo.max(axis=2)
+        warp_exec = np.minimum(lo_max + 1, n_stages)
+        warp_min = np.minimum(np.minimum(warps_hi.min(axis=2), lo_max) + 1, n_stages)
+
+        gathered_instr = costs.cum_instr[warp_exec]
+        instr = gathered_instr.sum(axis=1) + self._staging * warps_lo.shape[1]
+        shared = costs.cum_shared[warp_exec].sum(axis=1) + m.shared_tile_bytes
+        const = costs.cum_const[warp_exec].sum(axis=1)
+        # branch accounting: one exit branch per executed stage, divergent
+        # when the warp's lanes leave at different stages
+        branches = warp_exec.astype(np.float64) + gathered_instr / 20.0
+        divergent = (warp_exec - warp_min).astype(np.float64)
+
+        work = BlockWork(
+            warp_instructions=instr,
+            dram_bytes_read=np.full(m.grid_blocks, self._dram_read),
+            dram_bytes_written=np.full(m.grid_blocks, self._dram_write),
+            branches=branches.sum(axis=1),
+            divergent_branches=divergent.sum(axis=1),
+            shared_bytes=shared,
+            constant_requests=const,
+        )
+        return KernelLaunch(
+            name=self._name,
+            config=self._config,
+            work=work,
+            stream=self._stream,
+            tag="cascade",
+        )
 
 
 @dataclass
@@ -140,15 +255,23 @@ def cascade_eval_kernel(
     name: str | None = None,
     integral: np.ndarray | None = None,
     squared: np.ndarray | None = None,
+    backend=None,
 ) -> CascadeKernelResult:
     """Evaluate ``cascade`` over every window anchor of one pyramid level.
 
     ``integral``/``squared`` may be passed when the pipeline already
     computed them (the Fig. 1 integral stage); otherwise they are built
-    here.  Returns the functional maps plus a timing-layer
-    :class:`KernelLaunch` whose per-block work is derived from the measured
-    warp depths (SIMT semantics, see module docstring).
+    here.  ``backend`` selects the :class:`~repro.backend.base.
+    ComputeBackend` that runs the numeric evaluation — a registry name, an
+    instance, or ``None`` for the env/default chain.  Returns the
+    functional maps plus a timing-layer :class:`KernelLaunch` whose
+    per-block work is derived from the measured warp depths (SIMT
+    semantics, see module docstring).
     """
+    # lazy import: repro.backend registers implementations that read
+    # repro.haar/repro.image; a module-level import would cycle
+    from repro.backend import get_backend
+
     img = np.asarray(level_image, dtype=np.float64)
     if img.ndim != 2:
         raise ConfigurationError(f"level image must be 2-D, got shape {img.shape}")
@@ -158,137 +281,17 @@ def cascade_eval_kernel(
     ii = integral_image(img) if integral is None else integral
     sq = squared_integral_image(img) if squared is None else squared
 
-    ay, ax = mapping.anchors_y, mapping.anchors_x
-    w = mapping.window
-    win_sum = ii[w:, w:] - ii[:-w, w:] - ii[w:, :-w] + ii[:-w, :-w]
-    win_sq = sq[w:, w:] - sq[:-w, w:] - sq[w:, :-w] + sq[:-w, :-w]
-    win_sum = win_sum[:ay, :ax]
-    win_sq = win_sq[:ay, :ax]
-    mean = win_sum / _WINDOW_AREA
-    sigma = np.sqrt(np.maximum(win_sq / _WINDOW_AREA - mean * mean, 1.0))
-
-    depth = np.zeros((ay, ax), dtype=np.int32)
-    margin = np.zeros((ay, ax), dtype=np.float64)
-    alive_mask = np.ones((ay, ax), dtype=bool)
-    sparse_anchors: tuple[np.ndarray, np.ndarray] | None = None
-    total_anchors = ay * ax
-
-    for stage in cascade.stages:
-        if sparse_anchors is None:
-            live = int(alive_mask.sum())
-            if live == 0:
-                break
-            if live < max(64, _SPARSE_THRESHOLD * total_anchors):
-                sparse_anchors = np.nonzero(alive_mask)
-        if sparse_anchors is not None:
-            ys, xs = sparse_anchors
-            if ys.size == 0:
-                break
-            sums = np.zeros(ys.size)
-            sig = sigma[ys, xs]
-            for c in stage.classifiers:
-                vals = feature_values_at(ii, c.feature, ys, xs)
-                sums += np.where(vals <= c.threshold * sig, c.left, c.right)
-            margin[ys, xs] = sums - stage.threshold
-            passed = sums >= stage.threshold
-            depth[ys[passed], xs[passed]] += 1
-            sparse_anchors = (ys[passed], xs[passed])
-        else:
-            sums = np.zeros((ay, ax))
-            for c in stage.classifiers:
-                vals = feature_values_grid(ii, c.feature)[:ay, :ax]
-                sums += np.where(vals <= c.threshold * sigma, c.left, c.right)
-            margin[alive_mask] = (sums - stage.threshold)[alive_mask]
-            passed = alive_mask & (sums >= stage.threshold)
-            depth[passed] += 1
-            alive_mask = passed
+    evaluator = get_backend(backend).make_cascade_evaluator(cascade, mapping)
+    maps = evaluator.evaluate(ii, sq)
 
     n_stages = cascade.num_stages
-    rejections = np.bincount(depth.ravel(), minlength=n_stages + 1)
-    launch = _build_launch(cascade, mapping, depth, stream, name)
+    rejections = np.bincount(maps.depth_map.ravel(), minlength=n_stages + 1)
+    template = CascadeLaunchTemplate(cascade_launch_costs(cascade), mapping, stream, name)
     return CascadeKernelResult(
-        depth_map=depth,
-        margin_map=margin,
-        sigma_map=sigma,
-        launch=launch,
+        depth_map=maps.depth_map,
+        margin_map=maps.margin_map,
+        sigma_map=maps.sigma_map,
+        launch=template.build(maps.depth_map),
         mapping=mapping,
         rejections_by_depth=rejections,
-    )
-
-
-def _build_launch(
-    cascade: Cascade,
-    mapping: BlockMapping,
-    depth: np.ndarray,
-    stream: int,
-    name: str | None,
-) -> KernelLaunch:
-    """Derive the timing-layer launch from the measured anchor depths."""
-    stage_instr = stage_instruction_costs(cascade)
-    cum_instr = np.concatenate([[0.0], np.cumsum(stage_instr)])
-    cum_shared = np.concatenate([[0.0], np.cumsum(_stage_shared_bytes(cascade))])
-    cum_const = np.concatenate([[0.0], np.cumsum(_stage_const_requests(cascade))])
-    n_stages = cascade.num_stages
-
-    bw, bh = mapping.block_w, mapping.block_h
-    by, bx = mapping.blocks_y, mapping.blocks_x
-
-    def tile_warps(padded: np.ndarray) -> np.ndarray:
-        # (by, bh, bx, bw) -> (by, bx, bh, bw) -> (nblocks, warps, 32)
-        return (
-            padded.reshape(by, bh, bx, bw)
-            .transpose(0, 2, 1, 3)
-            .reshape(by * bx, -1, 32)
-        )
-
-    # Out-of-grid lanes (edge blocks) exit at the bounds check: they add no
-    # work and no divergence.  Pad with -1 for the max (never deepens a
-    # warp) and with n_stages for the min (never widens its depth spread).
-    pad_lo = np.full((by * bh, bx * bw), -1, dtype=np.int32)
-    pad_lo[: depth.shape[0], : depth.shape[1]] = depth
-    pad_hi = np.full((by * bh, bx * bw), n_stages, dtype=np.int32)
-    pad_hi[: depth.shape[0], : depth.shape[1]] = depth
-    warps_lo = tile_warps(pad_lo)
-    warps_hi = tile_warps(pad_hi)
-    # a warp executes stage k while any lane is alive: stages executed =
-    # min(deepest lane depth + 1, S)
-    warp_exec = np.minimum(warps_lo.max(axis=2) + 1, n_stages)
-    warp_min = np.minimum(np.minimum(warps_hi.min(axis=2), warps_lo.max(axis=2)) + 1, n_stages)
-    warps = warps_lo
-
-    staging = INSTR_STAGING_PER_THREAD * mapping.threads_per_block / 32.0
-    instr = cum_instr[warp_exec].sum(axis=1) + staging * warps.shape[1]
-    shared = cum_shared[warp_exec].sum(axis=1) + mapping.shared_tile_bytes
-    const = cum_const[warp_exec].sum(axis=1)
-
-    # branch accounting: one exit branch per executed stage, divergent when
-    # the warp's lanes leave at different stages
-    branches = warp_exec.astype(np.float64) + cum_instr[warp_exec] / 20.0
-    divergent = (warp_exec - warp_min).astype(np.float64)
-    # staging reads of the integral + squared-integral tiles, coalesced and
-    # mostly L2-resident; depth-map write per thread
-    dram_read = 2.0 * mapping.shared_tile_bytes * (1.0 - L2_HIT_RATE)
-    dram_write = mapping.threads_per_block * 4.0
-
-    work = BlockWork(
-        warp_instructions=instr,
-        dram_bytes_read=np.full(mapping.grid_blocks, dram_read),
-        dram_bytes_written=np.full(mapping.grid_blocks, dram_write),
-        branches=branches.sum(axis=1),
-        divergent_branches=divergent.sum(axis=1),
-        shared_bytes=shared,
-        constant_requests=const,
-    )
-    config = LaunchConfig(
-        grid_blocks=mapping.grid_blocks,
-        threads_per_block=mapping.threads_per_block,
-        regs_per_thread=24,
-        shared_mem_per_block=mapping.shared_tile_bytes,
-    )
-    return KernelLaunch(
-        name=name or f"cascade_{mapping.level_width}x{mapping.level_height}",
-        config=config,
-        work=work,
-        stream=stream,
-        tag="cascade",
     )

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend import ComputeBackend, get_backend
 from repro.detect.display import display_launch
 from repro.detect.grouping import RawDetection
 from repro.detect.kernels import CascadeKernelResult, cascade_eval_kernel
@@ -31,7 +32,7 @@ from repro.haar.cascade import Cascade
 from repro.haar.encoding import decode_cascade, encode_cascade
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.image.filtering import filtering_launch
-from repro.image.integral import integral_image, integral_launches, squared_integral_image
+from repro.image.integral import integral_launches
 from repro.image.pyramid import PyramidConfig, PyramidLevel, build_pyramid, scaling_launch
 from repro.utils.validation import check_shape_2d
 
@@ -51,6 +52,9 @@ class PipelineConfig:
     block_w: int = 16
     block_h: int = 16
     mode: ExecutionMode = ExecutionMode.CONCURRENT
+    #: compute-backend registry name; ``None`` -> ``REPRO_BACKEND`` env var
+    #: or the ``reference`` default (see :mod:`repro.backend.registry`)
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.block_w <= 0 or self.block_h <= 0:
@@ -104,16 +108,15 @@ def collect_raw_detections(
         if ys.size == 0:
             continue
         scores = result.score_map[ys, xs]
-        size = window * level.scale
-        for y, x, s in zip(ys, xs, scores):
-            raw.append(
-                RawDetection(
-                    x=float(x) * level.scale,
-                    y=float(y) * level.scale,
-                    size=float(size),
-                    score=float(s),
-                )
-            )
+        size = float(window * level.scale)
+        # int64 -> float64 multiply matches float(x) * scale exactly, so the
+        # batched form is bit-identical to the old per-pixel loop
+        fx = (xs * level.scale).tolist()
+        fy = (ys * level.scale).tolist()
+        raw.extend(
+            RawDetection(x=x, y=y, size=size, score=s)
+            for x, y, s in zip(fx, fy, scores.tolist())
+        )
     return raw
 
 
@@ -131,6 +134,8 @@ class FaceDetectionPipeline:
         self._config = config or PipelineConfig()
         self._device = device
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        # resolve eagerly so an unknown backend name fails at construction
+        self._backend = get_backend(self._config.backend)
         self._scheduler = DeviceScheduler(device)
         # Upload the packed cascade to constant memory: this both enforces
         # the 64 KiB budget (Section III-C) and makes the kernel evaluate
@@ -151,6 +156,11 @@ class FaceDetectionPipeline:
     def cascade(self) -> Cascade:
         """The cascade as evaluated on-device (after 16-bit quantisation)."""
         return self._cascade
+
+    @property
+    def backend(self) -> ComputeBackend:
+        """The resolved compute backend owning the numeric kernels."""
+        return self._backend
 
     @property
     def config(self) -> PipelineConfig:
@@ -218,8 +228,9 @@ class FaceDetectionPipeline:
 
     def _prepare(self, luma: np.ndarray):
         tracer = self._tracer
+        backend = self._backend
         with tracer.span("pyramid.scale"):
-            levels = build_pyramid(luma, self._config.pyramid)
+            levels = build_pyramid(luma, self._config.pyramid, backend=backend)
 
         launches: list[KernelLaunch] = []
         kernel_results: list[CascadeKernelResult] = []
@@ -233,8 +244,8 @@ class FaceDetectionPipeline:
                     scaling_launch(level.width, level.height, stream, tag="scaling")
                 )
             with tracer.span("integral"):
-                ii = integral_image(level.image)
-                sq = squared_integral_image(level.image)
+                ii = backend.integral_image(level.image)
+                sq = backend.squared_integral_image(level.image)
             launches.extend(
                 integral_launches(level.height, level.width, stream, tag="integral")
             )
@@ -254,6 +265,7 @@ class FaceDetectionPipeline:
                     integral=ii,
                     squared=sq,
                     name=f"cascade_s{level.index}",
+                    backend=backend,
                 )
             launches.append(result.launch)
             kernel_results.append(result)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend.warps import tile_warps
 from repro.boosting.soft_cascade import SoftCascade
 from repro.detect.kernels import (
     INSTR_PER_CLASSIFIER,
@@ -173,13 +174,8 @@ def _build_launch(
     pad_hi = np.full((by * bh, bx * bw), soft.length, dtype=np.int64)
     pad_hi[: exit_map.shape[0], : exit_map.shape[1]] = exit_map
 
-    def tile(padded):
-        return (
-            padded.reshape(by, bh, bx, bw).transpose(0, 2, 1, 3).reshape(by * bx, -1, 32)
-        )
-
-    warp_exec = tile(pad_lo).max(axis=2)
-    warp_min = np.minimum(tile(pad_hi).min(axis=2), warp_exec)
+    warp_exec = tile_warps(pad_lo, by, bh, bx, bw).max(axis=2)
+    warp_min = np.minimum(tile_warps(pad_hi, by, bh, bx, bw).min(axis=2), warp_exec)
 
     staging = INSTR_STAGING_PER_THREAD * mapping.threads_per_block / 32.0
     instr = cum_instr[warp_exec].sum(axis=1) + staging * warp_exec.shape[1]

@@ -28,7 +28,7 @@ from pathlib import Path
 
 from repro import zoo
 from repro.detect.engine import DetectionEngine, batch_report
-from repro.detect.pipeline import FaceDetectionPipeline, FrameResult
+from repro.detect.pipeline import FaceDetectionPipeline, FrameResult, PipelineConfig
 from repro.errors import ConfigurationError
 from repro.gpusim.batch import BatchReport
 from repro.obs.metrics import MetricsRegistry
@@ -65,6 +65,7 @@ class ThroughputResult:
     workers: int
     trials: int
     cascade: str
+    backend: str
     serial_s: float
     batched_s: float
     identical: bool
@@ -92,13 +93,14 @@ class ThroughputResult:
         return {
             "experiment": "throughput",
             "schema_version": BENCH_SCHEMA_VERSION,
-            "provenance": provenance(),
+            "provenance": provenance(backend=self.backend),
             "frame_width": self.width,
             "frame_height": self.height,
             "frames": self.frames,
             "workers": self.workers,
             "trials": self.trials,
             "cascade": self.cascade,
+            "backend": self.backend,
             "serial_s": self.serial_s,
             "batched_s": self.batched_s,
             "serial_fps": self.serial_fps,
@@ -131,7 +133,8 @@ class ThroughputResult:
             rows,
             title=(
                 f"Throughput — {self.frames} x {self.width}x{self.height} synthetic "
-                f"frames, {self.cascade} cascade (min of {self.trials} rounds)"
+                f"frames, {self.cascade} cascade, {self.backend} backend "
+                f"(min of {self.trials} rounds)"
             ),
         )
         sim = self.report.simulated_fps
@@ -155,8 +158,15 @@ def run_throughput(
     cascade: str = "paper",
     faces: int = 2,
     seed: int = 0,
+    backend: str | None = None,
 ) -> ThroughputResult:
-    """Measure serial vs batched wall-clock fps on synthetic frames."""
+    """Measure serial vs batched wall-clock fps on synthetic frames.
+
+    ``backend`` names the compute backend both paths run on (``None``
+    defers to ``REPRO_BACKEND`` / the ``reference`` default); the
+    resolved name lands in the artifact so trajectory points from
+    different backends stay separate series.
+    """
     if frames <= 0:
         raise ConfigurationError("frames must be positive")
     if trials <= 0:
@@ -170,7 +180,9 @@ def run_throughput(
         packet.luma
         for packet in synthetic_stream(width, height, frames, faces=faces, seed=seed)
     ]
-    pipeline = FaceDetectionPipeline(_CASCADES[cascade](seed=0))
+    pipeline = FaceDetectionPipeline(
+        _CASCADES[cascade](seed=0), config=PipelineConfig(backend=backend)
+    )
     engine = DetectionEngine(pipeline, workers=workers)
 
     # Warm both paths: the serial pass doubles as the reference output for
@@ -212,7 +224,7 @@ def run_throughput(
     identical = identical and all(
         _detection_key(r) == _detection_key(t) for r, t in zip(reference, traced)
     )
-    metrics = build_snapshot(registry, tracer)
+    metrics = build_snapshot(registry, tracer, backend=pipeline.backend.name)
 
     return ThroughputResult(
         width=width,
@@ -221,6 +233,7 @@ def run_throughput(
         workers=workers,
         trials=trials,
         cascade=cascade,
+        backend=pipeline.backend.name,
         serial_s=best_serial,
         batched_s=best_batched,
         identical=identical,

@@ -5,6 +5,11 @@ We use separable binomial kernels (the standard integer approximation of a
 Gaussian); for the small radii involved the convolution is implemented with
 shifted adds, which is both the fastest NumPy formulation and a direct
 transliteration of the shared-memory stencil a GPU kernel would run.
+
+:func:`antialias` is the ``reference`` implementation behind
+:meth:`repro.backend.base.ComputeBackend.antialias`; alternative backends
+(e.g. ``vectorized``, or a future CuPy/Torch port) may substitute their
+own kernel as long as the output stays byte-identical.
 """
 
 from __future__ import annotations

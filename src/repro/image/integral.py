@@ -13,6 +13,11 @@ Three equivalent construction paths are provided: a pure-Python sequential
 reference, the NumPy fast path, and the GPU path (row scans + transposes via
 :mod:`repro.image.scan` / :mod:`repro.image.transpose`) whose functional
 output is validated against the others in the test suite.
+
+These primitives are the ``reference`` side of the pluggable compute-
+backend seam: :meth:`repro.backend.base.ComputeBackend.integral_image` /
+``squared_integral_image`` (and the buffer-reusing ``make_integral_plan``)
+dispatch here on the default backend.
 """
 
 from __future__ import annotations

@@ -16,7 +16,6 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.gpusim.kernel import BlockWork, KernelLaunch, LaunchConfig
 from repro.gpusim.memory import coalesced_bytes
-from repro.image.filtering import antialias
 from repro.image.texture import Texture2D
 from repro.utils.validation import check_shape_2d
 
@@ -92,7 +91,12 @@ def downscale(texture: Texture2D, out_width: int, out_height: int) -> np.ndarray
     return texture.fetch_grid(xs, ys)
 
 
-def build_pyramid(frame: np.ndarray, config: PyramidConfig | None = None) -> list[PyramidLevel]:
+def build_pyramid(
+    frame: np.ndarray,
+    config: PyramidConfig | None = None,
+    *,
+    backend=None,
+) -> list[PyramidLevel]:
     """Build all pyramid levels of ``frame`` (luma plane, 2-D array).
 
     Following the paper, every level is resampled *from the frame texture*,
@@ -104,8 +108,15 @@ def build_pyramid(frame: np.ndarray, config: PyramidConfig | None = None) -> lis
     above its resolution, so the residual scale ratio is always below 2 and
     the accumulated blur is one binomial filter per octave — the same
     degradation the training chips are rendered through.
+
+    ``backend`` selects the :class:`~repro.backend.base.ComputeBackend`
+    whose ``antialias``/``downscale`` kernels do the resampling (a name, an
+    instance, or ``None`` for the registry default).
     """
     check_shape_2d("frame", np.asarray(frame))
+    from repro.backend import get_backend  # local: image.* is imported by backends
+
+    resolved = get_backend(backend)
     config = config or PyramidConfig()
     img = np.asarray(frame, dtype=np.float32)
     scales = pyramid_scales(img.shape[1], img.shape[0], config)
@@ -113,9 +124,9 @@ def build_pyramid(frame: np.ndarray, config: PyramidConfig | None = None) -> lis
     octaves = [img]
     while max(octaves[-1].shape) // 2 >= config.min_image_side:
         prev = octaves[-1]
-        filtered = antialias(prev, 2.0)
+        filtered = resolved.antialias(prev, 2.0)
         octaves.append(
-            downscale(Texture2D(filtered), max(prev.shape[1] // 2, 1), max(prev.shape[0] // 2, 1))
+            resolved.downscale(filtered, max(prev.shape[1] // 2, 1), max(prev.shape[0] // 2, 1))
         )
 
     levels: list[PyramidLevel] = []
@@ -126,7 +137,7 @@ def build_pyramid(frame: np.ndarray, config: PyramidConfig | None = None) -> lis
             current = img
         else:
             octave = min(int(np.floor(np.log2(scale))), len(octaves) - 1)
-            current = downscale(Texture2D(octaves[octave]), w, h)
+            current = resolved.downscale(octaves[octave], w, h)
         levels.append(
             PyramidLevel(index=index, scale=scale, width=w, height=h, image=current)
         )

@@ -5,6 +5,10 @@ rows, and transposing back (Section III-B, ref [19]).  The GPU kernel stages
 32x32 tiles through shared memory with one-word padding so both the global
 read and the global write are coalesced and bank-conflict-free; the timing
 model in :func:`transpose_launch` reflects exactly that traffic.
+
+:func:`tiled_transpose` backs
+:meth:`repro.backend.base.ComputeBackend.transpose` on the ``reference``
+backend (the seam a GPU backend would fill with a real device kernel).
 """
 
 from __future__ import annotations

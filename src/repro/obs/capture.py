@@ -30,6 +30,7 @@ class TraceCapture:
 
     frames: int
     workers: int
+    backend: str
     results: list = field(repr=False)
     events: list[dict] = field(repr=False)
     snapshot: dict = field(repr=False)
@@ -55,18 +56,20 @@ def run_trace(
     cascade: str = "quick",
     faces: int = 2,
     seed: int = 0,
+    backend: str | None = None,
     pipeline=None,
 ) -> TraceCapture:
     """Run ``frames`` synthetic frames through a fully traced engine.
 
     ``pipeline`` overrides the cascade choice with a prebuilt
     :class:`~repro.detect.pipeline.FaceDetectionPipeline` (tests use tiny
-    cascades this way).
+    cascades this way); ``backend`` selects the compute backend when the
+    pipeline is built here.
     """
     # local imports: keep repro.obs importable without the detection stack
     from repro import zoo
     from repro.detect.engine import DetectionEngine
-    from repro.detect.pipeline import FaceDetectionPipeline
+    from repro.detect.pipeline import FaceDetectionPipeline, PipelineConfig
     from repro.video.stream import synthetic_stream
 
     if frames <= 0:
@@ -81,7 +84,9 @@ def run_trace(
             raise ConfigurationError(
                 f"unknown cascade {cascade!r}; choose from {sorted(cascades)}"
             )
-        pipeline = FaceDetectionPipeline(cascades[cascade](seed=0))
+        pipeline = FaceDetectionPipeline(
+            cascades[cascade](seed=0), config=PipelineConfig(backend=backend)
+        )
 
     tracer = Tracer()
     metrics = MetricsRegistry()
@@ -91,9 +96,10 @@ def run_trace(
     return TraceCapture(
         frames=frames,
         workers=engine.workers,
+        backend=pipeline.backend.name,
         results=results,
         events=engine_trace_events(tracer, results),
-        snapshot=build_snapshot(metrics, tracer),
+        snapshot=build_snapshot(metrics, tracer, backend=pipeline.backend.name),
         tracer=tracer,
         metrics=metrics,
     )

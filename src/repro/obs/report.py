@@ -36,10 +36,23 @@ def stage_busy_seconds(spans: list[Span]) -> dict[str, float]:
 
 
 def build_snapshot(
-    metrics: MetricsRegistry | None = None, tracer: Tracer | None = None
+    metrics: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    backend: str | None = None,
 ) -> dict:
-    """One deterministic-shaped dict with everything observed so far."""
+    """One deterministic-shaped dict with everything observed so far.
+
+    When ``backend`` is given, the snapshot records both the active
+    compute backend and the registry contents it was chosen from.
+    """
     snap: dict = {"schema_version": SNAPSHOT_SCHEMA_VERSION}
+    if backend is not None:
+        from repro.backend import available_backends
+
+        snap["backend"] = {
+            "active": backend,
+            "registered": list(available_backends()),
+        }
     registry_dump = metrics.snapshot() if metrics is not None else {
         "counters": {}, "gauges": {}, "histograms": {}
     }
@@ -101,6 +114,8 @@ def render_snapshot(snap: dict) -> str:
     for name, gauge in snap.get("gauges", {}).items():
         scalars.append([f"{name} (last)", gauge["value"]])
         scalars.append([f"{name} (max)", gauge["max"]])
+    if "backend" in snap:
+        scalars.append(["backend", snap["backend"]["active"]])
     if "stage1_rejection_rate" in snap:
         scalars.append(["stage1_rejection_rate", round(snap["stage1_rejection_rate"], 4)])
     if "max_queue_depth" in snap:

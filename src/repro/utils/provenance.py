@@ -45,12 +45,19 @@ def git_sha() -> str:
     return sha if out.returncode == 0 and sha else "unknown"
 
 
-def provenance() -> dict:
-    """Environment fingerprint embedded in benchmark artifacts."""
-    return {
+def provenance(backend: str | None = None) -> dict:
+    """Environment fingerprint embedded in benchmark artifacts.
+
+    ``backend`` records the active compute-backend name, so trajectory
+    points from different backends are never compared as one series.
+    """
+    out = {
         "git_sha": git_sha(),
         "timestamp_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
         "numpy": np.__version__,
         "platform": sys.platform,
     }
+    if backend is not None:
+        out["backend"] = backend
+    return out

@@ -56,6 +56,23 @@ class TestDeterminism:
                     assert np.array_equal(kr.margin_map, ko.margin_map)
                     assert np.array_equal(kr.sigma_map, ko.sigma_map)
 
+    def test_vectorized_backend_identical_through_engine(self, pipeline, frames):
+        from repro.detect.pipeline import PipelineConfig
+
+        vec_pipeline = FaceDetectionPipeline(
+            quick_cascade(seed=0), config=PipelineConfig(backend="vectorized")
+        )
+        assert vec_pipeline.backend.name == "vectorized"
+        reference = [pipeline.process_frame(f) for f in frames]
+        engine = DetectionEngine(vec_pipeline, workers=2)
+        batched = list(engine.process_frames(iter(frames)))
+        for ref, out in zip(reference, batched):
+            assert _detections(out) == _detections(ref)
+            for kr, ko in zip(ref.kernel_results, out.kernel_results):
+                assert kr.depth_map.tobytes() == ko.depth_map.tobytes()
+                assert kr.margin_map.tobytes() == ko.margin_map.tobytes()
+                assert kr.score_map.tobytes() == ko.score_map.tobytes()
+
     def test_workspace_reuse_is_stateless(self, pipeline, frames):
         workspace = pipeline.make_workspace()
         first = workspace.process_frame(frames[0])

@@ -75,16 +75,16 @@ class TestFunctionalLayer:
     def test_dense_and_sparse_paths_agree(self, image):
         # A selective stage-1 pushes later stages onto the sparse path;
         # force the dense path by monkeypatching the threshold constant.
-        import repro.detect.kernels as K
+        import repro.backend.reference as R
 
         cascade = toy_cascade(stage_sizes=(3, 3, 3), stage_threshold=0.3)
         sparse = cascade_eval_kernel(image, cascade, stream=1)
-        old = K._SPARSE_THRESHOLD
+        old = R.SPARSE_THRESHOLD
         try:
-            K._SPARSE_THRESHOLD = -1.0  # never switch to sparse
+            R.SPARSE_THRESHOLD = -1.0  # never switch to sparse
             dense = cascade_eval_kernel(image, cascade, stream=1)
         finally:
-            K._SPARSE_THRESHOLD = old
+            R.SPARSE_THRESHOLD = old
         np.testing.assert_array_equal(sparse.depth_map, dense.depth_map)
 
     def test_rejections_histogram_sums_to_anchors(self, image):

@@ -159,3 +159,65 @@ class TestFaceDetector:
     def test_uint8_input_accepted(self, detector, scene):
         result = detector.detect(scene[0].astype(np.uint8))
         assert result.raw_count >= 0
+
+
+class TestCollectRawDetections:
+    """The vectorized anchor->window conversion must pin the old loop's bits."""
+
+    @pytest.fixture(scope="class")
+    def dense_result(self):
+        # a cascade with hugely permissive stage thresholds accepts every
+        # anchor, so one small frame yields thousands of raw detections
+        from repro.haar.cascade import Cascade, Stage, WeakClassifier
+        from repro.haar.enumeration import subsampled_feature_pool
+
+        rng = rng_for(9, "collect-cascade")
+        pool = subsampled_feature_pool(4, seed=9)
+        stages = tuple(
+            Stage(
+                classifiers=(
+                    WeakClassifier(
+                        feature=pool[i],
+                        threshold=float(rng.normal(0, 5)),
+                        left=float(rng.uniform(-1, 1)),
+                        right=float(rng.uniform(-1, 1)),
+                    ),
+                ),
+                threshold=-100.0,
+            )
+            for i in range(2)
+        )
+        cascade = Cascade(stages=stages, name="accept-all")
+        frame = rng_for(9, "collect-frame").uniform(0, 255, (72, 96))
+        pipe = FaceDetectionPipeline(cascade)
+        return pipe, pipe.process_frame(frame)
+
+    def test_matches_per_pixel_loop(self, dense_result):
+        from repro.detect.grouping import RawDetection
+        from repro.detect.pipeline import collect_raw_detections
+
+        pipe, result = dense_result
+        window = pipe.config.pyramid.window
+        got = collect_raw_detections(result.levels, result.kernel_results, window)
+        assert len(got) > 100, "frame not dense enough to exercise the batch path"
+
+        # the pre-vectorization per-pixel reference loop, verbatim
+        expected: list[RawDetection] = []
+        for level, kr in zip(result.levels, result.kernel_results):
+            ys, xs = kr.accepted
+            if ys.size == 0:
+                continue
+            scores = kr.score_map[ys, xs]
+            size = window * level.scale
+            for y, x, s in zip(ys, xs, scores):
+                expected.append(
+                    RawDetection(
+                        x=float(x) * level.scale,
+                        y=float(y) * level.scale,
+                        size=float(size),
+                        score=float(s),
+                    )
+                )
+        assert [(d.x, d.y, d.size, d.score) for d in got] == [
+            (d.x, d.y, d.size, d.score) for d in expected
+        ]

@@ -93,6 +93,18 @@ class TestEngineTrace:
             frame = event["args"]["frame"]
             assert event["ts"] >= anchors[frame] - 1e-3
 
+    def test_snapshot_records_backend_and_registry(self, capture):
+        info = capture.snapshot["backend"]
+        assert info["active"] == capture.backend
+        assert {"reference", "vectorized"} <= set(info["registered"])
+
+    def test_backend_selection_reaches_snapshot(self):
+        cap = run_trace(
+            frames=2, workers=1, width=96, height=72, backend="vectorized"
+        )
+        assert cap.backend == "vectorized"
+        assert cap.snapshot["backend"]["active"] == "vectorized"
+
     def test_write_round_trips(self, capture, tmp_path):
         path = write_chrome_trace(tmp_path / "t.json", capture.events)
         payload = json.loads(path.read_text())

@@ -1,9 +1,9 @@
 """Validate the CI pipeline definition.
 
 ``actionlint`` is not a baked-in dependency, so the tier-1 gate is a
-structural check: the workflow must parse as YAML and contain the three
-jobs the repo's quality gates depend on (lint, test matrix, benchmark
-smoke) with the exact tier-1 pytest invocation.
+structural check: the workflow must parse as YAML and contain the jobs
+the repo's quality gates depend on (lint, test matrix, vectorized-backend
+test pass, benchmark smoke) with the exact tier-1 pytest invocation.
 """
 
 from pathlib import Path
@@ -34,7 +34,7 @@ def test_triggers(workflow):
 
 
 def test_jobs_present(workflow):
-    assert {"lint", "test", "bench"} <= set(workflow["jobs"])
+    assert {"lint", "test", "test-vectorized", "bench"} <= set(workflow["jobs"])
 
 
 def test_lint_job_runs_ruff(workflow):
@@ -50,8 +50,15 @@ def test_test_job_matrix_and_command(workflow):
     assert "PYTHONPATH=src python -m pytest -x -q" in _steps_text(job)
 
 
+def test_vectorized_backend_job(workflow):
+    """The tier-1 suite must also run once under REPRO_BACKEND=vectorized."""
+    text = _steps_text(workflow["jobs"]["test-vectorized"])
+    assert "REPRO_BACKEND=vectorized" in text
+    assert "PYTHONPATH=src python -m pytest -x -q" in text
+
+
 def test_pip_caching(workflow):
-    for name in ("lint", "test", "bench"):
+    for name in ("lint", "test", "test-vectorized", "bench"):
         setup = next(
             step
             for step in workflow["jobs"][name]["steps"]
@@ -65,10 +72,22 @@ def test_bench_job_smoke_and_artifact(workflow):
     text = _steps_text(job)
     assert "REPRO_BENCH_SMOKE=1" in text
     assert "benchmarks/test_throughput_engine.py" in text
-    upload = next(
-        step for step in job["steps"] if "upload-artifact" in str(step.get("uses", ""))
+    # the smoke bench runs once per backend, and each run's artifact is
+    # uploaded under a backend-tagged name
+    assert "REPRO_BACKEND=vectorized" in text
+    assert "REPRO_BENCH_OUTPUT=BENCH_throughput-vectorized.json" in text
+    uploads = {
+        step["with"]["name"]: step["with"]
+        for step in job["steps"]
+        if "upload-artifact" in str(step.get("uses", ""))
+    }
+    assert uploads["BENCH_throughput-reference"]["path"] == "BENCH_throughput.json"
+    assert (
+        uploads["BENCH_throughput-vectorized"]["path"]
+        == "BENCH_throughput-vectorized.json"
     )
-    assert upload["with"]["path"] == "BENCH_throughput.json"
+    for name in ("BENCH_throughput-reference", "BENCH_throughput-vectorized"):
+        assert uploads[name].get("if-no-files-found") == "error"
 
 
 def test_bench_job_records_and_uploads_trace(workflow):
