@@ -195,8 +195,10 @@ def _cmd_bench_throughput(args: argparse.Namespace) -> int:
         width=args.width,
         height=args.height,
         trials=args.trials,
+        warmup=args.warmup,
         cascade=args.cascade,
         backend=args.backend,
+        mode=args.mode,
     )
     print(result.format_table())
     path = result.write_json(args.output)
@@ -216,13 +218,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         faces=args.faces,
         seed=args.seed,
         backend=args.backend,
+        mode=args.mode,
     )
     trace_path = capture.write_trace(args.output)
     metrics_path = capture.write_metrics(args.metrics_output)
     print(capture.render_snapshot())
     print(
         f"\ntraced {capture.frames} frames on {capture.workers} workers"
-        f" ({capture.backend} backend)"
+        f" ({capture.backend} backend, {capture.mode} sharding)"
         f"\nchrome trace -> {trace_path}  (open via chrome://tracing or ui.perfetto.dev)"
         f"\nmetrics snapshot -> {metrics_path}"
     )
@@ -301,6 +304,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--height", type=int, default=270, help="frame height (throughput)")
     p.add_argument("--trials", type=int, default=3, help="timing rounds (throughput)")
     p.add_argument(
+        "--warmup",
+        type=int,
+        default=1,
+        help="untimed warmup rounds before the scored rounds (throughput)",
+    )
+    p.add_argument(
+        "--mode",
+        choices=("threads", "processes", "auto"),
+        default="threads",
+        help="primary engine sharding mode for the headline speedup and the "
+        "instrumented pass; all three paths are always timed (throughput)",
+    )
+    p.add_argument(
         "--cascade",
         choices=("quick", "paper", "opencv"),
         default="paper",
@@ -323,7 +339,14 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="record a Chrome trace + metrics snapshot of the engine"
     )
     p.add_argument("--frames", type=int, default=8, help="frames to process")
-    p.add_argument("--workers", type=int, default=2, help="engine worker threads")
+    p.add_argument("--workers", type=int, default=2, help="engine workers")
+    p.add_argument(
+        "--mode",
+        choices=("threads", "processes", "auto"),
+        default="threads",
+        help="engine sharding: thread pool, process pool with shared-memory "
+        "frame transport, or auto (processes iff the host has the cores)",
+    )
     p.add_argument("--width", type=int, default=480)
     p.add_argument("--height", type=int, default=270)
     p.add_argument(

@@ -12,8 +12,19 @@
 
 from repro.detect.windows import BlockMapping, staging_addresses
 from repro.detect.kernels import CascadeKernelResult, cascade_eval_kernel
-from repro.detect.pipeline import FaceDetectionPipeline, PipelineConfig, FrameResult
-from repro.detect.engine import DetectionEngine, EngineRun, FrameWorkspace, batch_report
+from repro.detect.pipeline import (
+    FaceDetectionPipeline,
+    PipelineConfig,
+    PipelineSpec,
+    FrameResult,
+)
+from repro.detect.engine import (
+    DetectionEngine,
+    EngineRun,
+    FrameWorkspace,
+    ShardingMode,
+    batch_report,
+)
 from repro.detect.grouping import RawDetection, group_detections, predicted_eyes
 from repro.detect.display import draw_detections, display_launch
 from repro.detect.detector import FaceDetector, Detection, DetectionResult
@@ -27,10 +38,12 @@ __all__ = [
     "cascade_eval_kernel",
     "FaceDetectionPipeline",
     "PipelineConfig",
+    "PipelineSpec",
     "FrameResult",
     "DetectionEngine",
     "EngineRun",
     "FrameWorkspace",
+    "ShardingMode",
     "batch_report",
     "RawDetection",
     "group_detections",

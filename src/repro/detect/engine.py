@@ -21,10 +21,20 @@ the host.  Two pieces:
   equality, and the cross-backend oracle extends the same contract to
   every other backend.
 
-* :class:`DetectionEngine` — runs N frames in flight on a
-  ``concurrent.futures`` thread pool, one workspace per worker, with
-  bounded in-flight frames (backpressure: the input iterator is only
-  advanced when a slot frees) and strictly ordered output.
+* :class:`DetectionEngine` — runs N frames in flight, one workspace per
+  worker, with bounded in-flight frames (backpressure: the input
+  iterator is only advanced when a slot frees) and strictly ordered
+  output.  :class:`ShardingMode` selects the executor: ``threads``
+  (the original ``concurrent.futures`` thread pool — cooperative under
+  the GIL, cheap hand-off), ``processes`` (a persistent
+  ``ProcessPoolExecutor`` whose workers each build their own pipeline
+  once from a picklable :class:`~repro.detect.pipeline.PipelineSpec`,
+  with frame pixels moved through a
+  :class:`~repro.video.shm.SharedFrameRing` instead of pickles — true
+  multi-core parallelism), or ``auto`` (processes whenever more than
+  one worker meets more than one core).  Both sharded paths keep the
+  ordered-output and ``max_in_flight`` contracts exactly, and both are
+  byte-identical to serial ``process_frame``.
 
 The simulated GPU timing layer is untouched: each frame still gets its
 own :class:`~repro.gpusim.scheduler.ScheduleResult`, which
@@ -34,13 +44,16 @@ own :class:`~repro.gpusim.scheduler.ScheduleResult`, which
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import threading
 import time
 from collections import deque
 from collections.abc import Iterable, Iterator
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from enum import Enum
 
 import numpy as np
 
@@ -56,8 +69,9 @@ from repro.detect.pipeline import (
     FrameResult,
     collect_raw_detections,
 )
+from repro.detect.shard import ShardReply, WorkerSpec, init_worker, process_shard
 from repro.detect.windows import BlockMapping
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WorkerCrashError
 from repro.gpusim.batch import BatchReport
 from repro.gpusim.kernel import KernelLaunch
 from repro.gpusim.scheduler import ExecutionMode
@@ -67,8 +81,62 @@ from repro.image.filtering import filtering_launch
 from repro.image.integral import integral_launches
 from repro.image.pyramid import PyramidLevel, pyramid_scales, scaling_launch
 from repro.utils.validation import check_shape_2d
+from repro.video.shm import SharedFrameRing, SlotTicket
 
-__all__ = ["FrameWorkspace", "DetectionEngine", "EngineRun", "batch_report"]
+__all__ = [
+    "FrameWorkspace",
+    "DetectionEngine",
+    "EngineRun",
+    "ShardingMode",
+    "batch_report",
+]
+
+#: start method consulted when the engine is not given one explicitly
+START_METHOD_ENV = "REPRO_START_METHOD"
+
+#: ``spawn`` everywhere: it is the macOS/Windows (and Python >= 3.14
+#: Linux) default, so Linux runs exercise the same pickling semantics,
+#: and it never inherits locks mid-acquire the way ``fork`` can.
+DEFAULT_START_METHOD = "spawn"
+
+
+class ShardingMode(Enum):
+    """How :class:`DetectionEngine` distributes frames across workers.
+
+    The paper's Fig. 5 lesson is that concurrency only pays once the
+    executors are genuinely independent — per-scale kernels sharing one
+    SM serialise, per-scale kernels on idle SMs overlap.  The host-side
+    analogue: worker *threads* share one GIL (they overlap only the
+    NumPy regions that release it), worker *processes* are fully
+    independent.  ``AUTO`` applies that rule directly: processes
+    whenever more than one worker meets more than one core, threads
+    otherwise (on a single core, process transport costs buy nothing).
+    """
+
+    THREADS = "threads"
+    PROCESSES = "processes"
+    AUTO = "auto"
+
+    @classmethod
+    def coerce(cls, value: "ShardingMode | str") -> "ShardingMode":
+        """Accept a mode or its name; reject anything else loudly."""
+        if isinstance(value, ShardingMode):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown sharding mode {value!r}; "
+                f"choose from {[m.value for m in cls]}"
+            ) from None
+
+    def resolve(self, workers: int) -> "ShardingMode":
+        """Collapse ``AUTO`` to a concrete mode for ``workers`` workers."""
+        if self is not ShardingMode.AUTO:
+            return self
+        if workers >= 2 and (os.cpu_count() or 1) >= 2:
+            return ShardingMode.PROCESSES
+        return ShardingMode.THREADS
 
 
 # ---------------------------------------------------------------------------
@@ -396,6 +464,19 @@ class DetectionEngine:
     mode:
         Execution mode for the simulated schedules; defaults to the
         pipeline's configured mode.
+    sharding:
+        :class:`ShardingMode` (or its name): ``threads`` | ``processes``
+        | ``auto``.  Process sharding runs a *persistent* worker-process
+        pool — each worker rebuilds the pipeline once from the picklable
+        :meth:`~repro.detect.pipeline.FaceDetectionPipeline.spec` and
+        keeps its workspace across frames — and moves frame pixels
+        through a shared-memory ring instead of pickling them.  Call
+        :meth:`close` (or use the engine as a context manager) when done
+        so the pool and the ring are torn down promptly.
+    start_method:
+        Multiprocessing start method for process sharding.  Defaults to
+        ``REPRO_START_METHOD`` or ``spawn`` (the strictest semantics:
+        what macOS/Windows enforce).
     tracer:
         Span tracer shared by every worker workspace; each frame is
         wrapped in a ``frame`` span (carrying its index, the Chrome
@@ -415,6 +496,8 @@ class DetectionEngine:
         workers: int | None = None,
         queue_depth: int = 2,
         mode: ExecutionMode | None = None,
+        sharding: ShardingMode | str = ShardingMode.THREADS,
+        start_method: str | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
@@ -428,10 +511,23 @@ class DetectionEngine:
         self._workers = workers
         self._queue_depth = queue_depth
         self._mode = mode
+        self._requested_sharding = ShardingMode.coerce(sharding)
+        self._sharding = self._requested_sharding.resolve(workers)
+        start_method = (
+            start_method or os.environ.get(START_METHOD_ENV) or DEFAULT_START_METHOD
+        )
+        if start_method not in multiprocessing.get_all_start_methods():
+            raise ConfigurationError(
+                f"unknown start method {start_method!r}; choose from "
+                f"{multiprocessing.get_all_start_methods()}"
+            )
+        self._start_method = start_method
         self._tracer = tracer if tracer is not None else pipeline.tracer
         self._metrics = metrics
         self._free: list[FrameWorkspace] = []
         self._lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = None
+        self._ring: SharedFrameRing | None = None
 
     @property
     def pipeline(self) -> FaceDetectionPipeline:
@@ -447,9 +543,79 @@ class DetectionEngine:
         return self._workers
 
     @property
+    def sharding(self) -> ShardingMode:
+        """The concrete sharding mode (``AUTO`` already resolved)."""
+        return self._sharding
+
+    @property
+    def requested_sharding(self) -> ShardingMode:
+        """The mode as configured, before ``AUTO`` resolution."""
+        return self._requested_sharding
+
+    @property
+    def start_method(self) -> str:
+        """The multiprocessing start method process sharding uses."""
+        return self._start_method
+
+    @property
     def max_in_flight(self) -> int:
         """Upper bound on simultaneously materialised frames."""
         return max(self._workers, 1) + self._queue_depth
+
+    # -- process-sharding lifecycle -----------------------------------------
+
+    def close(self) -> None:
+        """Tear down the persistent worker pool and the frame ring.
+
+        Idempotent; thread-sharded engines are unaffected.  The engine
+        remains usable — the next process-sharded run lazily rebuilds
+        both.
+        """
+        pool, self._pool = self._pool, None
+        ring, self._ring = self._ring, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        if ring is not None:
+            ring.close()
+
+    def __enter__(self) -> "DetectionEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            spec = WorkerSpec(
+                pipeline=self._pipeline.spec(),
+                tracing=self._tracer.enabled,
+                trace_origin=self._tracer.origin,
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._workers,
+                mp_context=multiprocessing.get_context(self._start_method),
+                initializer=init_worker,
+                initargs=(spec,),
+            )
+        return self._pool
+
+    def _stash(self, luma: np.ndarray) -> SlotTicket | None:
+        """Place a frame in the shared ring; ``None`` -> pickle fallback.
+
+        The ring is sized on first use: ``max_in_flight`` slots of the
+        first frame's byte size, which the backpressure bound keeps
+        sufficient.  Larger frames arriving later (mixed-resolution
+        streams) ship inline instead.
+        """
+        if self._ring is None:
+            self._ring = SharedFrameRing(self.max_in_flight, int(luma.nbytes))
+        return self._ring.put(luma)
 
     def _checkout(self) -> FrameWorkspace:
         with self._lock:
@@ -496,10 +662,14 @@ class DetectionEngine:
         """Yield one :class:`FrameResult` per frame, in input order.
 
         Output order is the submission order by construction (a FIFO of
-        futures), independent of which worker finishes first.
+        futures), independent of which worker finishes first — under
+        both thread and process sharding.
         """
         mode = mode or self._mode
         metrics = self._metrics
+        if self._workers > 0 and self._sharding is ShardingMode.PROCESSES:
+            yield from self._frames_processes(frames, mode)
+            return
         if self._workers == 0:
             workspace = self._checkout()
             try:
@@ -550,6 +720,120 @@ class DetectionEngine:
                     yield emit()
             while pending:
                 yield emit()
+
+    # -- the process-sharded path -------------------------------------------
+
+    def _frames_processes(
+        self, frames: Iterable, mode: ExecutionMode | None
+    ) -> Iterator[FrameResult]:
+        """Shard frames across the persistent worker-process pool.
+
+        Identical contract to the threaded path: FIFO futures give
+        ordered output, ``max_in_flight`` bounds both the pending window
+        and the ring occupancy (slot acquired at submit, released at
+        emit).  A dead worker surfaces as :class:`~repro.errors.
+        WorkerCrashError` — never a hang — and poisons neither the
+        engine (pool and ring are rebuilt on the next run) nor the
+        caller's other engines.
+        """
+        metrics = self._metrics
+        tracer = self._tracer
+        limit = self.max_in_flight
+        in_flight = metrics.gauge("engine.in_flight") if metrics is not None else None
+        pool = self._ensure_pool()
+        pending: deque[tuple] = deque()
+        done_at: dict = {}
+
+        def emit() -> FrameResult:
+            future, ticket = pending.popleft()
+            try:
+                reply: ShardReply = future.result()
+            except BrokenProcessPool as exc:
+                self._abandon_pool(pending)
+                raise WorkerCrashError(
+                    f"engine worker process died (start method "
+                    f"{self._start_method!r}); the pool has been torn down and "
+                    f"will be rebuilt on the next run"
+                ) from exc
+            finally:
+                if ticket is not None and self._ring is not None:
+                    self._ring.release(ticket)
+            if tracer.enabled and reply.spans:
+                tracer.extend(reply.spans)
+            if metrics is not None:
+                done_ts = done_at.pop(future, None)
+                if done_ts is not None:
+                    metrics.histogram("engine.emit_wait_s").observe(
+                        max(0.0, time.perf_counter() - done_ts)
+                    )
+                metrics.histogram("engine.queue_wait_s").observe(reply.queue_wait_s)
+                metrics.histogram("engine.frame_latency_s").observe(reply.latency_s)
+                metrics.counter("engine.frames").inc()
+                _bridge_frame_metrics(metrics, reply.result)
+                in_flight.set(len(pending))
+            return reply.result
+
+        try:
+            for index, frame in enumerate(frames):
+                luma = np.asarray(_as_luma(frame))
+                ticket = self._stash(luma)
+                submit_ts = time.perf_counter()
+                try:
+                    future = pool.submit(
+                        process_shard,
+                        index,
+                        ticket,
+                        None if ticket is not None else luma,
+                        mode,
+                        submit_ts,
+                    )
+                except BrokenProcessPool as exc:
+                    # the crash can surface here first: a dead worker marks
+                    # the pool broken before the victim future is emitted
+                    if ticket is not None and self._ring is not None:
+                        self._ring.release(ticket)
+                    self._abandon_pool(pending)
+                    raise WorkerCrashError(
+                        f"engine worker process died (start method "
+                        f"{self._start_method!r}); the pool has been torn "
+                        f"down and will be rebuilt on the next run"
+                    ) from exc
+                if metrics is not None:
+                    future.add_done_callback(
+                        lambda f: done_at.__setitem__(f, time.perf_counter())
+                    )
+                pending.append((future, ticket))
+                if in_flight is not None:
+                    in_flight.set(len(pending))
+                if len(pending) >= limit:
+                    yield emit()
+            while pending:
+                yield emit()
+        finally:
+            if pending:
+                # the consumer abandoned the generator mid-run: workers may
+                # still be reading their slots, so drain before releasing
+                self._drain_abandoned(pending)
+
+    def _drain_abandoned(self, pending: deque) -> None:
+        while pending:
+            future, ticket = pending.popleft()
+            try:
+                future.result()
+            except Exception:
+                pass
+            if ticket is not None and self._ring is not None:
+                self._ring.release(ticket)
+
+    def _abandon_pool(self, pending: deque) -> None:
+        """After a worker crash: tear everything down for a clean rebuild."""
+        pending.clear()
+        pool, self._pool = self._pool, None
+        ring, self._ring = self._ring, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if ring is not None:
+            ring.close()
 
     def run(self, frames: Iterable, mode: ExecutionMode | None = None) -> EngineRun:
         """Process every frame and aggregate the batch report."""

@@ -38,6 +38,7 @@ from repro.utils.validation import check_shape_2d
 
 __all__ = [
     "PipelineConfig",
+    "PipelineSpec",
     "FrameResult",
     "FaceDetectionPipeline",
     "collect_raw_detections",
@@ -59,6 +60,31 @@ class PipelineConfig:
     def __post_init__(self) -> None:
         if self.block_w <= 0 or self.block_h <= 0:
             raise ConfigurationError("block dimensions must be positive")
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """A picklable recipe for rebuilding one pipeline in another process.
+
+    The process-sharded engine ships this to each worker once (pool
+    initializer), and the worker constructs its own
+    :class:`FaceDetectionPipeline` from it — cascades are re-encoded to
+    constant memory locally instead of re-pickling per frame, and the
+    compute backend is re-resolved from the registry by name, so backend
+    instances (which may own process-local buffers) never cross the
+    boundary.  Construction is deterministic in the spec: two processes
+    building the same spec evaluate byte-identical pipelines.
+    """
+
+    cascade: Cascade
+    device: DeviceSpec = GTX470
+    config: PipelineConfig = field(default_factory=PipelineConfig)
+
+    def build(self, *, tracer: Tracer | None = None) -> "FaceDetectionPipeline":
+        """Construct the pipeline this spec describes."""
+        return FaceDetectionPipeline(
+            self.cascade, self.device, self.config, tracer=tracer
+        )
 
 
 @dataclass
@@ -183,6 +209,17 @@ class FaceDetectionPipeline:
     def tracer(self) -> Tracer:
         """The span tracer stages report to (:data:`NULL_TRACER` by default)."""
         return self._tracer
+
+    def spec(self) -> PipelineSpec:
+        """The picklable :class:`PipelineSpec` that rebuilds this pipeline.
+
+        Carries the *source* cascade (pre-quantisation): ``build`` repeats
+        the constant-memory encode/decode, so the rebuilt pipeline
+        evaluates the identical quantised cascade.
+        """
+        return PipelineSpec(
+            cascade=self._source_cascade, device=self._device, config=self._config
+        )
 
     def make_workspace(self, tracer: Tracer | None = None):
         """A reusable per-worker :class:`~repro.detect.engine.FrameWorkspace`.

@@ -16,6 +16,7 @@ __all__ = [
     "TrainingError",
     "BitstreamError",
     "EvaluationError",
+    "WorkerCrashError",
 ]
 
 
@@ -49,3 +50,7 @@ class BitstreamError(ReproError):
 
 class EvaluationError(ReproError):
     """Accuracy evaluation received inconsistent detections/annotations."""
+
+
+class WorkerCrashError(ReproError):
+    """An engine worker process died mid-batch (never a silent hang)."""

@@ -31,6 +31,8 @@ class TraceCapture:
     frames: int
     workers: int
     backend: str
+    #: engine sharding mode the run used ("threads" or "processes")
+    mode: str
     results: list = field(repr=False)
     events: list[dict] = field(repr=False)
     snapshot: dict = field(repr=False)
@@ -57,6 +59,7 @@ def run_trace(
     faces: int = 2,
     seed: int = 0,
     backend: str | None = None,
+    mode: str = "threads",
     pipeline=None,
 ) -> TraceCapture:
     """Run ``frames`` synthetic frames through a fully traced engine.
@@ -64,7 +67,10 @@ def run_trace(
     ``pipeline`` overrides the cascade choice with a prebuilt
     :class:`~repro.detect.pipeline.FaceDetectionPipeline` (tests use tiny
     cascades this way); ``backend`` selects the compute backend when the
-    pipeline is built here.
+    pipeline is built here.  ``mode`` selects the engine sharding
+    (``threads`` | ``processes`` | ``auto``) — under process sharding the
+    per-worker spans come back pid-tagged, so the Chrome trace shows one
+    lane per worker process on the shared timeline.
     """
     # local imports: keep repro.obs importable without the detection stack
     from repro import zoo
@@ -90,13 +96,17 @@ def run_trace(
 
     tracer = Tracer()
     metrics = MetricsRegistry()
-    engine = DetectionEngine(pipeline, workers=workers, tracer=tracer, metrics=metrics)
     stream = synthetic_stream(width, height, frames, faces=faces, seed=seed)
-    results = list(engine.process_frames(stream))
+    with DetectionEngine(
+        pipeline, workers=workers, sharding=mode, tracer=tracer, metrics=metrics
+    ) as engine:
+        results = list(engine.process_frames(stream))
+        resolved_mode = engine.sharding.value
     return TraceCapture(
         frames=frames,
         workers=engine.workers,
         backend=pipeline.backend.name,
+        mode=resolved_mode,
         results=results,
         events=engine_trace_events(tracer, results),
         snapshot=build_snapshot(metrics, tracer, backend=pipeline.backend.name),

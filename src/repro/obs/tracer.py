@@ -119,11 +119,17 @@ class Tracer:
     A tracer constructed with ``enabled=False`` (or the module-level
     :data:`NULL_TRACER`) hands out one shared no-op context manager, so
     instrumentation points cost ~nothing in production paths.
+
+    ``origin`` overrides the time-zero instant.  ``perf_counter`` reads
+    the system-wide monotonic clock on every supported platform, so a
+    worker *process* handed the parent tracer's origin records spans
+    directly on the parent's timeline — the process-sharded engine uses
+    this to merge per-worker spans into one Chrome trace.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, origin: float | None = None) -> None:
         self._enabled = enabled
-        self._origin = time.perf_counter()
+        self._origin = time.perf_counter() if origin is None else origin
         self._spans: list[Span] = []
         self._lock = threading.Lock()
 
@@ -146,6 +152,23 @@ class Tracer:
         """Snapshot copy of every finished span, in completion order."""
         with self._lock:
             return list(self._spans)
+
+    def extend(self, spans: list[Span]) -> None:
+        """Merge externally recorded spans (e.g. from a worker process).
+
+        The spans must already be on this tracer's timeline — the
+        process-sharded engine guarantees that by constructing worker
+        tracers with ``origin=parent.origin``.
+        """
+        with self._lock:
+            self._spans.extend(spans)
+
+    def drain(self) -> list[Span]:
+        """Atomically snapshot and clear — the per-frame shipping unit."""
+        with self._lock:
+            spans = list(self._spans)
+            self._spans.clear()
+        return spans
 
     def clear(self) -> None:
         """Drop all recorded spans (the origin instant is kept)."""

@@ -45,19 +45,27 @@ def git_sha() -> str:
     return sha if out.returncode == 0 and sha else "unknown"
 
 
-def provenance(backend: str | None = None) -> dict:
+def provenance(backend: str | None = None, mode: str | None = None) -> dict:
     """Environment fingerprint embedded in benchmark artifacts.
 
-    ``backend`` records the active compute-backend name, so trajectory
-    points from different backends are never compared as one series.
+    ``backend`` records the active compute-backend name and ``mode`` the
+    engine sharding mode, so trajectory points from different backends
+    or executor kinds are never compared as one series.  ``cpu_count``
+    rides along because sharded speedups are only interpretable against
+    the core budget that produced them.
     """
+    import os
+
     out = {
         "git_sha": git_sha(),
         "timestamp_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
         "numpy": np.__version__,
         "platform": sys.platform,
+        "cpu_count": os.cpu_count() or 1,
     }
     if backend is not None:
         out["backend"] = backend
+    if mode is not None:
+        out["mode"] = mode
     return out

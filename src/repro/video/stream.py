@@ -26,11 +26,13 @@ from repro.errors import ConfigurationError
 from repro.utils.rng import rng_for
 from repro.video.decoder import HardwareDecoder
 from repro.video.h264 import Bitstream, demux
+from repro.video.shm import SharedFrameRing, SlotTicket, attach_view
 from repro.video.synthesis import FaceAnnotation, render_scene
 from repro.video.trailer import TrailerSpec, trailer_frames
 
 __all__ = [
     "FramePacket",
+    "SharedFramePacket",
     "synthetic_stream",
     "trailer_stream",
     "decoded_stream",
@@ -52,6 +54,59 @@ class FramePacket:
     def shape(self) -> tuple[int, int]:
         """(height, width) of the luma plane."""
         return (int(self.luma.shape[0]), int(self.luma.shape[1]))
+
+    def share(self, ring: SharedFrameRing) -> "SharedFramePacket | None":
+        """Move the pixels into ``ring`` and return the shm hand-off form.
+
+        The result pickles in O(metadata) instead of O(pixels) — this is
+        what the process-sharded engine sends to worker processes.
+        Returns ``None`` when the frame does not fit a ring slot (the
+        caller falls back to pickling the packet whole).
+        """
+        ticket = ring.put(np.asarray(self.luma))
+        if ticket is None:
+            return None
+        return SharedFramePacket(
+            index=self.index,
+            ticket=ticket,
+            annotations=self.annotations,
+            decode_latency_s=self.decode_latency_s,
+        )
+
+
+@dataclass
+class SharedFramePacket:
+    """A :class:`FramePacket` whose pixels live in a shared-memory ring.
+
+    Crossing a process boundary costs only this record; the receiving
+    process re-materialises the luma plane as a zero-copy view with
+    :meth:`materialise`.  The creator must keep the ticket's slot alive
+    (no :meth:`SharedFrameRing.release`) until every reader is done.
+    """
+
+    index: int
+    ticket: SlotTicket
+    annotations: list[FaceAnnotation] = field(default_factory=list)
+    decode_latency_s: float = 0.0
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(height, width) of the shared luma plane."""
+        return (int(self.ticket.shape[0]), int(self.ticket.shape[1]))
+
+    @property
+    def luma(self) -> np.ndarray:
+        """Zero-copy view of the shared pixels (attaches on first use)."""
+        return attach_view(self.ticket)
+
+    def materialise(self) -> FramePacket:
+        """The equivalent :class:`FramePacket` over the shared pixels."""
+        return FramePacket(
+            index=self.index,
+            luma=self.luma,
+            annotations=self.annotations,
+            decode_latency_s=self.decode_latency_s,
+        )
 
 
 def _check_geometry(width: int, height: int, n_frames: int) -> None:

@@ -103,3 +103,68 @@ class TestDisabledFastPath:
             pass
         (span,) = tracer.spans()
         json.dumps(span.args)
+
+
+class TestCrossProcessPrimitives:
+    """origin / extend / drain: what process sharding builds on."""
+
+    def test_shared_origin_aligns_timelines(self):
+        import time
+
+        parent = Tracer()
+        worker = Tracer(origin=parent.origin)  # what init_worker does
+        anchor = time.perf_counter()
+        with worker.span("w"):
+            pass
+        (span,) = worker.spans()
+        # the worker span lands where the parent clock says "now", not
+        # at the worker tracer's construction instant
+        expected_us = (anchor - parent.origin) * 1e6
+        assert abs(span.start_us - expected_us) < 1e5  # within 100 ms
+
+    def test_origin_default_is_construction_time(self):
+        import time
+
+        before = time.perf_counter()
+        tracer = Tracer()
+        assert before <= tracer.origin <= time.perf_counter()
+
+    def test_drain_is_atomic_snapshot_and_clear(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        drained = tracer.drain()
+        assert [s.name for s in drained] == ["a", "b"]
+        assert tracer.spans() == []
+        assert tracer.drain() == []
+
+    def test_extend_merges_foreign_spans(self):
+        parent = Tracer()
+        with parent.span("local"):
+            pass
+        worker = Tracer(origin=parent.origin)
+        with worker.span("remote"):
+            pass
+        parent.extend(worker.drain())
+        assert {s.name for s in parent.spans()} == {"local", "remote"}
+
+    def test_extend_is_thread_safe(self):
+        parent = Tracer()
+
+        def feed(tag):
+            worker = Tracer(origin=parent.origin)
+            for i in range(50):
+                with worker.span(f"{tag}-{i}"):
+                    pass
+                parent.extend(worker.drain())
+
+        threads = [
+            threading.Thread(target=feed, args=(t,)) for t in ("x", "y", "z")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(parent) == 150

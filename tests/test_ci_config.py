@@ -34,7 +34,9 @@ def test_triggers(workflow):
 
 
 def test_jobs_present(workflow):
-    assert {"lint", "test", "test-vectorized", "bench"} <= set(workflow["jobs"])
+    assert {
+        "lint", "test", "test-vectorized", "test-processes", "bench"
+    } <= set(workflow["jobs"])
 
 
 def test_lint_job_runs_ruff(workflow):
@@ -57,8 +59,17 @@ def test_vectorized_backend_job(workflow):
     assert "PYTHONPATH=src python -m pytest -x -q" in text
 
 
+def test_process_sharding_job(workflow):
+    """The process-sharding subset must run under explicit spawn semantics."""
+    text = _steps_text(workflow["jobs"]["test-processes"])
+    assert "REPRO_START_METHOD=spawn" in text
+    assert "tests/detect/test_engine_processes.py" in text
+    assert "tests/detect/test_pickling.py" in text
+    assert "tests/video/test_shm.py" in text
+
+
 def test_pip_caching(workflow):
-    for name in ("lint", "test", "test-vectorized", "bench"):
+    for name in ("lint", "test", "test-vectorized", "test-processes", "bench"):
         setup = next(
             step
             for step in workflow["jobs"][name]["steps"]
@@ -86,7 +97,18 @@ def test_bench_job_smoke_and_artifact(workflow):
         uploads["BENCH_throughput-vectorized"]["path"]
         == "BENCH_throughput-vectorized.json"
     )
-    for name in ("BENCH_throughput-reference", "BENCH_throughput-vectorized"):
+    # the process-sharding smoke run uploads its own mode-tagged artifact
+    assert "REPRO_BENCH_MODE=processes" in text
+    assert "REPRO_BENCH_OUTPUT=BENCH_throughput-processes.json" in text
+    assert (
+        uploads["BENCH_throughput-processes"]["path"]
+        == "BENCH_throughput-processes.json"
+    )
+    for name in (
+        "BENCH_throughput-reference",
+        "BENCH_throughput-vectorized",
+        "BENCH_throughput-processes",
+    ):
         assert uploads[name].get("if-no-files-found") == "error"
 
 

@@ -7,10 +7,20 @@ from repro.utils.provenance import git_sha, provenance
 
 def test_provenance_fields():
     p = provenance()
-    assert set(p) == {"git_sha", "timestamp_utc", "python", "numpy", "platform"}
+    assert set(p) == {
+        "git_sha", "timestamp_utc", "python", "numpy", "platform", "cpu_count"
+    }
     # ISO-8601 with explicit UTC offset
     assert re.match(r"^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\+00:00$", p["timestamp_utc"])
     assert re.match(r"^\d+\.\d+", p["python"])
+    assert p["cpu_count"] >= 1
+
+
+def test_provenance_optional_tags():
+    p = provenance(backend="vectorized", mode="processes")
+    assert p["backend"] == "vectorized"
+    assert p["mode"] == "processes"
+    assert "mode" not in provenance(backend="reference")
 
 
 def test_git_sha_is_hex_or_unknown():

@@ -1,0 +1,135 @@
+"""Tests for the shared-memory frame ring (process-sharding transport).
+
+The ring's contract: fixed slots, single-producer put/release with loud
+failures on misuse (exhaustion means a leaked slot, double-release means
+a double-emit), pickle-fallback signalling for oversized frames, and
+byte-exact pixel round-trips through both the producer-side and the
+reader-side (:func:`~repro.video.shm.attach_view`) views.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.video.shm import SharedFrameRing, SlotTicket, attach_view, detach_all
+from repro.video.stream import FramePacket, synthetic_stream
+
+
+@pytest.fixture
+def ring():
+    with SharedFrameRing(slots=3, slot_bytes=64 * 48) as ring:
+        yield ring
+    detach_all()
+
+
+def _frame(seed: int, shape=(48, 64), dtype=np.uint8) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    if np.issubdtype(np.dtype(dtype), np.integer):
+        return rng.integers(0, 255, size=shape, dtype=dtype)
+    return rng.random(size=shape).astype(dtype)
+
+
+class TestRing:
+    def test_put_view_roundtrip(self, ring):
+        frame = _frame(0)
+        ticket = ring.put(frame)
+        assert isinstance(ticket, SlotTicket)
+        np.testing.assert_array_equal(ring.view(ticket), frame)
+
+    def test_put_copies_rather_than_aliases(self, ring):
+        frame = _frame(1)
+        ticket = ring.put(frame)
+        frame[...] = 0  # producer may reuse its buffer immediately
+        assert ring.view(ticket).max() > 0
+
+    def test_slots_cycle_through_release(self, ring):
+        # 3 slots service many more frames as long as release keeps pace
+        for generation in range(4):
+            tickets = [ring.put(_frame(10 + generation * 3 + i)) for i in range(3)]
+            assert ring.free_slots == 0
+            for i, ticket in enumerate(tickets):
+                np.testing.assert_array_equal(
+                    ring.view(ticket), _frame(10 + generation * 3 + i)
+                )
+                ring.release(ticket)
+        assert ring.free_slots == 3
+
+    def test_exhaustion_is_loud(self, ring):
+        for i in range(3):
+            ring.put(_frame(i))
+        with pytest.raises(ConfigurationError, match="occupied"):
+            ring.put(_frame(99))
+
+    def test_double_release_is_loud(self, ring):
+        ticket = ring.put(_frame(0))
+        ring.release(ticket)
+        with pytest.raises(ConfigurationError, match="released twice"):
+            ring.release(ticket)
+
+    def test_foreign_ticket_rejected(self, ring):
+        foreign = SlotTicket(
+            ring_name="psm_not_this_ring", slot=0, offset=0,
+            shape=(48, 64), dtype="uint8",
+        )
+        with pytest.raises(ConfigurationError, match="belongs to ring"):
+            ring.release(foreign)
+
+    def test_oversized_frame_falls_back_to_pickle(self, ring):
+        big = _frame(0, shape=(480, 640))
+        assert not ring.fits(big)
+        assert ring.put(big) is None  # caller ships inline instead
+        assert ring.free_slots == 3  # no slot consumed
+
+    def test_float32_frames_roundtrip(self, ring):
+        frame = _frame(2, shape=(24, 32), dtype=np.float32)
+        ticket = ring.put(frame)
+        assert ticket.dtype == "float32"
+        np.testing.assert_array_equal(ring.view(ticket), frame)
+
+    def test_attach_view_same_process(self, ring):
+        # attach_view is the reader-side path; in-process it must see the
+        # same bytes the producer wrote (cross-process is covered by the
+        # engine integration tests)
+        frame = _frame(3)
+        ticket = ring.put(frame)
+        np.testing.assert_array_equal(attach_view(ticket), frame)
+
+    def test_close_is_idempotent(self):
+        ring = SharedFrameRing(slots=1, slot_bytes=16)
+        ring.close()
+        ring.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            ring.put(np.zeros(4, dtype=np.uint8))
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SharedFrameRing(slots=0, slot_bytes=16)
+        with pytest.raises(ConfigurationError):
+            SharedFrameRing(slots=1, slot_bytes=0)
+
+
+class TestSharedFramePacket:
+    def test_share_and_materialise(self):
+        packet = next(iter(synthetic_stream(64, 48, 1, faces=1, seed=7)))
+        with SharedFrameRing(slots=1, slot_bytes=int(packet.luma.nbytes)) as ring:
+            self._roundtrip(ring, packet)
+        detach_all()
+
+    def _roundtrip(self, ring, packet):
+        shared = packet.share(ring)
+        assert shared is not None
+        assert shared.index == packet.index
+        assert shared.shape == packet.luma.shape
+        np.testing.assert_array_equal(shared.luma, packet.luma)
+
+        back = shared.materialise()
+        assert isinstance(back, FramePacket)
+        assert back.index == packet.index
+        assert back.annotations == packet.annotations
+        np.testing.assert_array_equal(back.luma, packet.luma)
+        ring.release(shared.ticket)
+
+    def test_share_oversized_returns_none(self):
+        packet = next(iter(synthetic_stream(64, 48, 1, faces=1, seed=7)))
+        with SharedFrameRing(slots=1, slot_bytes=8) as tiny:
+            assert packet.share(tiny) is None
