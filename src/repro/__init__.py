@@ -28,8 +28,18 @@ Quickstart::
         print(det.x, det.y, det.size, det.score)
 """
 
+from importlib.metadata import PackageNotFoundError
+from importlib.metadata import version as _dist_version
+
 from repro.detect.detector import Detection, DetectionResult, FaceDetector
 
-__version__ = "1.0.0"
+try:
+    # the single source of truth is pyproject.toml, surfaced through the
+    # installed distribution metadata ...
+    __version__ = _dist_version("repro")
+except PackageNotFoundError:  # pragma: no cover - source-tree runs
+    # ... with a fallback for PYTHONPATH=src runs of an uninstalled tree
+    # (kept in sync with pyproject.toml by tests/test_package.py)
+    __version__ = "1.0.0"
 
 __all__ = ["FaceDetector", "DetectionResult", "Detection", "__version__"]

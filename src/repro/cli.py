@@ -8,6 +8,8 @@ Commands
 ``train``     train a small cascade from scratch and save it as JSON
 ``bench``     run one experiment driver and print its paper-style table
 ``trace``     record a Chrome trace + metrics snapshot of the engine
+``serve``     run the asyncio detection service (POST /v1/detect)
+``loadtest``  drive a running service and write BENCH_serving.json
 """
 
 from __future__ import annotations
@@ -19,45 +21,9 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import ReproError
+from repro.video.pnm import read_pnm, write_ppm
 
 __all__ = ["main", "read_pnm", "write_ppm"]
-
-
-def read_pnm(path: str | Path) -> np.ndarray:
-    """Read a binary PGM (P5) or PPM (P6) image as grayscale float32."""
-    data = Path(path).read_bytes()
-    if data[:2] not in (b"P5", b"P6"):
-        raise ReproError(f"{path}: only binary PGM (P5) / PPM (P6) supported")
-    fields: list[int] = []
-    pos = 2
-    while len(fields) < 3:
-        while pos < len(data) and data[pos : pos + 1].isspace():
-            pos += 1
-        if data[pos : pos + 1] == b"#":  # comment line
-            pos = data.index(b"\n", pos) + 1
-            continue
-        start = pos
-        while pos < len(data) and not data[pos : pos + 1].isspace():
-            pos += 1
-        fields.append(int(data[start:pos]))
-    pos += 1  # single whitespace after maxval
-    width, height, maxval = fields
-    if maxval > 255:
-        raise ReproError(f"{path}: 16-bit PNM not supported")
-    channels = 1 if data[:2] == b"P5" else 3
-    pixels = np.frombuffer(data, dtype=np.uint8, count=width * height * channels, offset=pos)
-    if channels == 1:
-        return pixels.reshape(height, width).astype(np.float32)
-    rgb = pixels.reshape(height, width, 3).astype(np.float32)
-    return 0.299 * rgb[:, :, 0] + 0.587 * rgb[:, :, 1] + 0.114 * rgb[:, :, 2]
-
-
-def write_ppm(path: str | Path, rgb: np.ndarray) -> None:
-    """Write an (h, w, 3) uint8 array as a binary PPM."""
-    h, w, _ = rgb.shape
-    with open(path, "wb") as f:
-        f.write(f"P6 {w} {h} 255\n".encode("ascii"))
-        f.write(np.ascontiguousarray(rgb, dtype=np.uint8).tobytes())
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
@@ -166,6 +132,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.experiment == "throughput":
         return _cmd_bench_throughput(args)
+    if args.experiment == "serving":
+        return _cmd_bench_serving(args)
     profile = active_profile()
     drivers = {
         "table1": lambda: _fmt("table1", profile),
@@ -179,7 +147,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.experiment not in drivers:
         print(
             f"unknown experiment {args.experiment!r}; "
-            f"choose from {sorted(drivers) + ['throughput']}"
+            f"choose from {sorted(drivers) + ['serving', 'throughput']}"
         )
         return 2
     print(drivers[args.experiment]())
@@ -203,6 +171,141 @@ def _cmd_bench_throughput(args: argparse.Namespace) -> int:
     print(result.format_table())
     path = result.write_json(args.output)
     print(f"benchmark artifact -> {path}")
+    return 0
+
+
+def _cmd_bench_serving(args: argparse.Namespace) -> int:
+    from repro.experiments.serving import run_serving
+
+    # the shared bench flags default to the throughput workload (paper
+    # cascade, quarter-1080p), far too heavy for a request-level bench;
+    # untouched values fall back to the serving defaults
+    width = 96 if args.width == 480 else args.width
+    height = 96 if args.height == 270 else args.height
+    cascade = "quick" if args.cascade == "paper" else args.cascade
+    workers = None if args.workers == 4 else args.workers
+    result = run_serving(
+        requests=args.requests,
+        concurrency=args.concurrency,
+        width=width,
+        height=height,
+        cascade=cascade,
+        backend=args.backend,
+        workers=workers,
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1e3,
+    )
+    print(result.format_table())
+    path = result.write_json(args.output)
+    print(f"benchmark artifact -> {path}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.admission import AdmissionConfig
+    from repro.serve.server import ServerConfig, run_server
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        cascade=args.cascade,
+        backend=args.backend,
+        workers=args.workers,
+        sharding=args.mode,
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1e3,
+        admission=AdmissionConfig(
+            max_queue=args.max_queue,
+            max_concurrency=args.max_concurrency,
+            queue_budget_s=args.queue_budget_ms / 1e3,
+        ),
+        trace=args.trace,
+    )
+    try:
+        asyncio.run(run_server(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.experiments.serving import serving_artifact
+    from repro.serve.loadgen import build_payloads, run_loadtest
+    from repro.utils.tables import format_table
+
+    payloads = build_payloads(
+        width=args.width,
+        height=args.height,
+        frames=args.frames,
+        faces=args.faces,
+        seed=args.seed,
+        trailer=args.trailer,
+        references=args.references,
+    )
+
+    async def drive():
+        result = await run_loadtest(
+            args.host,
+            args.port,
+            requests=args.requests,
+            concurrency=args.concurrency,
+            rate_rps=args.rate,
+            payloads=payloads,
+            ready_timeout_s=args.ready_timeout,
+        )
+        stats = None
+        try:
+            from repro.serve.loadgen import _Connection
+
+            conn = _Connection(args.host, args.port)
+            status, body = await conn.request("GET", "/stats")
+            conn.close()
+            if status == 200:
+                stats = json.loads(body).get("serve")
+        except (OSError, ValueError):
+            pass
+        return result, stats
+
+    result, stats = asyncio.run(drive())
+    lat = result.latency_summary()
+    print(
+        format_table(
+            ["mode", "ok", "shed", "errors", "req/s", "p50 ms", "p95 ms"],
+            [[
+                result.mode,
+                result.ok,
+                result.shed,
+                result.errors,
+                round(result.rps, 2),
+                round(lat.get("p50_s", 0.0) * 1e3, 1),
+                round(lat.get("p95_s", 0.0) * 1e3, 1),
+            ]],
+            title=(
+                f"loadtest — {result.requests} requests at concurrency "
+                f"{result.concurrency} against {args.host}:{args.port}"
+            ),
+        )
+    )
+    artifact = serving_artifact(
+        result,
+        width=args.width,
+        height=args.height,
+        frames=args.frames,
+        trailer=args.trailer,
+        server_stats=stats,
+    )
+    from pathlib import Path as _Path
+
+    _Path(args.output).write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"benchmark artifact -> {args.output}")
+    if result.errors or (result.ok == 0 and result.requests > 0):
+        print("loadtest saw transport errors or zero OK responses", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -263,9 +366,14 @@ def _fmt(name: str, profile) -> str:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Face detection reproduction (Oro et al., ICPP 2012)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -296,7 +404,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("bench", help="run one experiment driver")
     p.add_argument(
-        "experiment", help="table1|table2|fig5|fig6|fig7|fig8|fig9|throughput"
+        "experiment",
+        help="table1|table2|fig5|fig6|fig7|fig8|fig9|throughput|serving",
     )
     p.add_argument("--frames", type=int, default=10, help="frames (throughput)")
     p.add_argument("--workers", type=int, default=4, help="engine workers (throughput)")
@@ -331,7 +440,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--output",
         default="BENCH_throughput.json",
-        help="JSON artifact path (throughput)",
+        help="JSON artifact path (throughput: BENCH_throughput.json; "
+        "serving: pass BENCH_serving.json)",
+    )
+    p.add_argument("--requests", type=int, default=96, help="requests (serving)")
+    p.add_argument(
+        "--concurrency", type=int, default=8, help="closed-loop clients (serving)"
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=8, help="micro-batch width (serving)"
+    )
+    p.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=4.0,
+        help="micro-batch collection window (serving)",
     )
     p.set_defaults(func=_cmd_bench)
 
@@ -372,6 +495,104 @@ def build_parser() -> argparse.ArgumentParser:
         help="metrics snapshot JSON path",
     )
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "serve", help="run the asyncio detection service (POST /v1/detect)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8035, help="0 picks a free port")
+    p.add_argument(
+        "--cascade",
+        choices=("quick", "paper", "opencv"),
+        default="quick",
+        help="cascade profile",
+    )
+    p.add_argument(
+        "--backend",
+        default=None,
+        help="compute backend (reference/vectorized; default: $REPRO_BACKEND "
+        "or reference)",
+    )
+    p.add_argument("--workers", type=int, default=1, help="engine workers")
+    p.add_argument(
+        "--mode",
+        choices=("threads", "processes", "auto"),
+        default="threads",
+        help="engine sharding under the micro-batcher",
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=4, help="micro-batch width (1 disables)"
+    )
+    p.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=5.0,
+        help="longest a lone request waits for batch company",
+    )
+    p.add_argument(
+        "--max-queue", type=int, default=64, help="queued requests before 429s"
+    )
+    p.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=128,
+        help="admitted-but-unanswered requests before 429s",
+    )
+    p.add_argument(
+        "--queue-budget-ms",
+        type=float,
+        default=500.0,
+        help="queue deadline: admitted requests older than this are shed",
+    )
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="record request-lifecycle spans (adds overhead)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadtest", help="drive a running service and write BENCH_serving.json"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8035)
+    p.add_argument("--requests", type=int, default=64)
+    p.add_argument(
+        "--concurrency", type=int, default=8, help="closed-loop client workers"
+    )
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="open-loop arrival rate in req/s (default: closed loop)",
+    )
+    p.add_argument("--width", type=int, default=96, help="payload frame width")
+    p.add_argument("--height", type=int, default=96, help="payload frame height")
+    p.add_argument(
+        "--frames", type=int, default=6, help="distinct payload frames to rotate"
+    )
+    p.add_argument("--faces", type=int, default=1, help="faces per synthetic frame")
+    p.add_argument(
+        "--trailer",
+        default=None,
+        help="draw payload frames from this synthetic Table II trailer",
+    )
+    p.add_argument(
+        "--references",
+        action="store_true",
+        help="send JSON frame references instead of raw PGM pixels",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--ready-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for /readyz before failing",
+    )
+    p.add_argument(
+        "--output", "-o", default="BENCH_serving.json", help="JSON artifact path"
+    )
+    p.set_defaults(func=_cmd_loadtest)
     return parser
 
 

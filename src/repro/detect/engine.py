@@ -50,7 +50,8 @@ import threading
 import time
 from collections import deque
 from collections.abc import Iterable, Iterator
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from enum import Enum
@@ -528,6 +529,9 @@ class DetectionEngine:
         self._lock = threading.Lock()
         self._pool: ProcessPoolExecutor | None = None
         self._ring: SharedFrameRing | None = None
+        self._thread_pool: ThreadPoolExecutor | None = None
+        self._outstanding: set[Future] = set()
+        self._submit_count = 0
 
     @property
     def pipeline(self) -> FaceDetectionPipeline:
@@ -565,16 +569,18 @@ class DetectionEngine:
     # -- process-sharding lifecycle -----------------------------------------
 
     def close(self) -> None:
-        """Tear down the persistent worker pool and the frame ring.
+        """Tear down the persistent worker pools and the frame ring.
 
-        Idempotent; thread-sharded engines are unaffected.  The engine
-        remains usable — the next process-sharded run lazily rebuilds
-        both.
+        Idempotent.  The engine remains usable — the next run lazily
+        rebuilds whatever executor its sharding mode needs.
         """
         pool, self._pool = self._pool, None
         ring, self._ring = self._ring, None
+        threads, self._thread_pool = self._thread_pool, None
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
+        if threads is not None:
+            threads.shutdown(wait=True)
         if ring is not None:
             ring.close()
 
@@ -589,6 +595,20 @@ class DetectionEngine:
             self.close()
         except Exception:
             pass
+
+    def _ensure_thread_pool(self) -> ThreadPoolExecutor:
+        """The persistent worker-thread pool (thread sharding only).
+
+        Built lazily on first use and kept across :meth:`process_frames`
+        / :meth:`submit` calls, so long-lived feeders (the serving
+        micro-batcher) pay thread start-up once, not per batch — the
+        worker workspaces in ``self._free`` were already reused this way.
+        """
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(
+                max_workers=self._workers, thread_name_prefix="repro-engine"
+            )
+        return self._thread_pool
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -691,21 +711,22 @@ class DetectionEngine:
         limit = self.max_in_flight
         in_flight = metrics.gauge("engine.in_flight") if metrics is not None else None
         done_at: dict = {}
-        with ThreadPoolExecutor(max_workers=self._workers) as pool:
-            pending: deque = deque()
+        pool = self._ensure_thread_pool()
+        pending: deque = deque()
 
-            def emit() -> FrameResult:
-                future = pending.popleft()
-                result = future.result()
-                if metrics is not None:
-                    done_ts = done_at.pop(future, None)
-                    if done_ts is not None:
-                        metrics.histogram("engine.emit_wait_s").observe(
-                            max(0.0, time.perf_counter() - done_ts)
-                        )
-                    in_flight.set(len(pending))
-                return result
+        def emit() -> FrameResult:
+            future = pending.popleft()
+            result = future.result()
+            if metrics is not None:
+                done_ts = done_at.pop(future, None)
+                if done_ts is not None:
+                    metrics.histogram("engine.emit_wait_s").observe(
+                        max(0.0, time.perf_counter() - done_ts)
+                    )
+                in_flight.set(len(pending))
+            return result
 
+        try:
             for index, frame in enumerate(frames):
                 submit_ts = time.perf_counter() if metrics is not None else None
                 future = pool.submit(self._job, index, _as_luma(frame), mode, submit_ts)
@@ -720,6 +741,141 @@ class DetectionEngine:
                     yield emit()
             while pending:
                 yield emit()
+        finally:
+            # The pool is persistent now, so an abandoned generator no
+            # longer waits via executor shutdown; keep the old contract
+            # (no frame still running once the call is over) explicitly.
+            while pending:
+                future = pending.popleft()
+                try:
+                    future.result()
+                except Exception:
+                    pass
+
+    # -- the long-lived submission hook -------------------------------------
+
+    def _track(self, future: Future) -> Future:
+        with self._lock:
+            self._outstanding.add(future)
+        future.add_done_callback(self._untrack)
+        return future
+
+    def _untrack(self, future: Future) -> None:
+        with self._lock:
+            self._outstanding.discard(future)
+
+    def submit(self, frame, mode: ExecutionMode | None = None) -> "Future[FrameResult]":
+        """Submit one frame to the persistent worker pool; returns a future.
+
+        The long-lived feeding hook for callers that do not have their
+        whole frame stream up front (the serving micro-batcher): unlike
+        :meth:`process_frames` it never rebuilds executors or
+        workspaces per call — both persist until :meth:`close` — and it
+        applies **no backpressure**; the caller owns admission control.
+        Results carry no ordering guarantee beyond the returned future.
+
+        Under process sharding the frame rides the shared-memory ring
+        when a slot is free (falling back to pickle transport when the
+        ring is saturated, since an unbounded submitter is not covered
+        by the ``max_in_flight`` slot bound), and a dead worker resolves
+        the future with :class:`~repro.errors.WorkerCrashError`.
+        """
+        mode = mode or self._mode
+        luma = np.asarray(_as_luma(frame))
+        with self._lock:
+            index = self._submit_count
+            self._submit_count += 1
+        if self._workers > 0 and self._sharding is ShardingMode.PROCESSES:
+            return self._submit_process(index, luma, mode)
+        submit_ts = time.perf_counter() if self._metrics is not None else None
+        if self._workers == 0:
+            future: Future = Future()
+            try:
+                future.set_result(self._job(index, luma, mode, submit_ts))
+            except Exception as exc:  # surfaced through the future, like a pool
+                future.set_exception(exc)
+            return future
+        return self._track(
+            self._ensure_thread_pool().submit(self._job, index, luma, mode, submit_ts)
+        )
+
+    def _submit_process(
+        self, index: int, luma: np.ndarray, mode: ExecutionMode | None
+    ) -> "Future[FrameResult]":
+        pool = self._ensure_pool()
+        if self._ring is None:
+            self._ring = SharedFrameRing(self.max_in_flight, int(luma.nbytes))
+        ring = self._ring
+        ticket = ring.put(luma) if ring.free_slots > 0 else None
+        submit_ts = time.perf_counter()
+        outer: Future = Future()
+
+        def _release(t: SlotTicket | None) -> None:
+            if t is not None and self._ring is ring:
+                ring.release(t)
+
+        try:
+            inner = pool.submit(
+                process_shard,
+                index,
+                ticket,
+                None if ticket is not None else luma,
+                mode,
+                submit_ts,
+            )
+        except BrokenProcessPool as exc:
+            _release(ticket)
+            self._abandon_pool(deque())
+            raise WorkerCrashError(
+                f"engine worker process died (start method {self._start_method!r}); "
+                f"the pool has been torn down and will be rebuilt on the next run"
+            ) from exc
+
+        def _complete(f: Future) -> None:
+            try:
+                reply: ShardReply = f.result()
+            except BrokenProcessPool as exc:
+                _release(ticket)
+                self._abandon_pool(deque())
+                crash = WorkerCrashError(
+                    f"engine worker process died (start method "
+                    f"{self._start_method!r}); the pool has been torn down "
+                    f"and will be rebuilt on the next run"
+                )
+                crash.__cause__ = exc
+                outer.set_exception(crash)
+                return
+            except Exception as exc:
+                _release(ticket)
+                outer.set_exception(exc)
+                return
+            _release(ticket)
+            if self._tracer.enabled and reply.spans:
+                self._tracer.extend(reply.spans)
+            metrics = self._metrics
+            if metrics is not None:
+                metrics.histogram("engine.queue_wait_s").observe(reply.queue_wait_s)
+                metrics.histogram("engine.frame_latency_s").observe(reply.latency_s)
+                metrics.counter("engine.frames").inc()
+                _bridge_frame_metrics(metrics, reply.result)
+            outer.set_result(reply.result)
+
+        inner.add_done_callback(_complete)
+        return self._track(outer)
+
+    def drain(self) -> None:
+        """Block until every :meth:`submit`-ted frame has completed.
+
+        Exceptions stay in their futures — drain only waits.  New
+        submissions racing a drain are waited for too (the loop repeats
+        until the outstanding set is observed empty).
+        """
+        while True:
+            with self._lock:
+                pending = list(self._outstanding)
+            if not pending:
+                return
+            futures_wait(pending)
 
     # -- the process-sharded path -------------------------------------------
 

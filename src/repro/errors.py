@@ -17,6 +17,10 @@ __all__ = [
     "BitstreamError",
     "EvaluationError",
     "WorkerCrashError",
+    "ServeError",
+    "BadRequestError",
+    "RequestSheddedError",
+    "DeadlineExpiredError",
 ]
 
 
@@ -54,3 +58,47 @@ class EvaluationError(ReproError):
 
 class WorkerCrashError(ReproError):
     """An engine worker process died mid-batch (never a silent hang)."""
+
+
+class ServeError(ReproError):
+    """Base class for the :mod:`repro.serve` detection service."""
+
+
+class BadRequestError(ServeError):
+    """A client request is malformed (maps to an HTTP 4xx, never a 500)."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class RequestSheddedError(ServeError):
+    """Admission control refused the request (HTTP 429 + ``Retry-After``).
+
+    ``reason`` distinguishes the bound that tripped (``"queue"`` /
+    ``"concurrency"`` / ``"deadline"``); ``retry_after_s`` is the
+    back-off hint sent to the client.
+    """
+
+    def __init__(self, reason: str, retry_after_s: float) -> None:
+        super().__init__(f"request shed ({reason}); retry after {retry_after_s:.3f}s")
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExpiredError(RequestSheddedError):
+    """An admitted request aged out in the queue before dispatch.
+
+    Shed requests must fail fast: once a request has waited past its
+    queue-deadline budget the client is better served by an immediate
+    429 than by stale work that completes after it stopped listening.
+    """
+
+    def __init__(self, waited_s: float, budget_s: float, retry_after_s: float) -> None:
+        RequestSheddedError.__init__(self, "deadline", retry_after_s)
+        self.args = (
+            f"request spent {waited_s:.3f}s queued, over its {budget_s:.3f}s "
+            f"deadline budget; shed before dispatch",
+        )
+        self.waited_s = waited_s
+        self.budget_s = budget_s

@@ -6,6 +6,23 @@ created on first use, every instrument is thread-safe, and
 JSON-serialisable dict (names sorted, derived statistics computed with
 fixed rules), so snapshots of two identical seeded runs compare equal on
 everything that is not a wall-clock measurement.
+
+Thread-safety contract (the serving layer reads a snapshot on every
+``/metrics`` hit while engine workers write concurrently):
+
+* every write (``inc`` / ``set`` / ``observe``) and every read of an
+  instrument's state happens under that instrument's lock, so a
+  snapshot never sees a torn value — a gauge's ``(value, max)`` pair is
+  read atomically, and a histogram's summary is computed from one
+  consistent copy of its samples;
+* :meth:`MetricsRegistry.snapshot` is atomic *per instrument*, not
+  across instruments: counters incremented while a snapshot is in
+  progress may land in it or in the next one, but each individual value
+  is internally consistent and counters are monotone across snapshots;
+* ``snapshot(reset=True)`` drains: each instrument's capture-and-clear
+  is a single critical section, so across a series of resetting
+  snapshots every observation is reported exactly once (gauges are
+  last-value instruments and are never cleared).
 """
 
 from __future__ import annotations
@@ -33,9 +50,18 @@ class Counter:
         with self._lock:
             self._value += amount
 
+    def read(self, reset: bool = False) -> float:
+        """The current sum; atomically zeroed first when ``reset``."""
+        with self._lock:
+            value = self._value
+            if reset:
+                self._value = 0.0
+            return value
+
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class Gauge:
@@ -54,14 +80,24 @@ class Gauge:
             if value > self._max:
                 self._max = value
 
+    def read(self) -> dict:
+        """``{"value": ..., "max": ...}`` as one consistent pair."""
+        with self._lock:
+            return {
+                "value": self._value,
+                "max": self._max if math.isfinite(self._max) else 0.0,
+            }
+
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
     @property
     def max(self) -> float:
         """Largest value ever set (0.0 before the first ``set``)."""
-        return self._max if math.isfinite(self._max) else 0.0
+        with self._lock:
+            return self._max if math.isfinite(self._max) else 0.0
 
 
 class Histogram:
@@ -83,7 +119,8 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        with self._lock:
+            return len(self._values)
 
     @property
     def sum(self) -> float:
@@ -101,10 +138,16 @@ class Histogram:
         rank = max(1, math.ceil(p / 100.0 * len(values)))
         return values[rank - 1]
 
-    def summary(self) -> dict:
-        """count / sum / min / mean / p50 / p95 / max as a plain dict."""
+    def summary(self, reset: bool = False) -> dict:
+        """count / sum / min / mean / p50 / p95 / max as a plain dict.
+
+        ``reset`` atomically clears the samples after capturing them, so
+        a draining reader reports every observation exactly once.
+        """
         with self._lock:
             values = sorted(self._values)
+            if reset:
+                self._values.clear()
         if not values:
             return {"count": 0, "sum": 0.0, "min": 0.0, "mean": 0.0,
                     "p50": 0.0, "p95": 0.0, "max": 0.0}
@@ -162,11 +205,17 @@ class MetricsRegistry:
         with self._lock:
             return sorted(self._metrics)
 
-    def snapshot(self) -> dict:
+    def snapshot(self, reset: bool = False) -> dict:
         """Deterministically ordered dump of every instrument.
 
         Shape: ``{"counters": {...}, "gauges": {...}, "histograms": {...}}``
-        with names sorted inside each section.
+        with names sorted inside each section.  Safe to call while other
+        threads write: each value is read under its instrument's lock
+        (atomic per instrument; see the module docstring for the exact
+        cross-instrument guarantee).  ``reset=True`` drains counters and
+        histograms — capture-and-clear is one critical section per
+        instrument, so concurrent writes are never lost or double
+        reported.  Gauges keep their last value and running max.
         """
         with self._lock:
             items = sorted(self._metrics.items())
@@ -175,9 +224,9 @@ class MetricsRegistry:
         histograms: dict[str, dict] = {}
         for name, metric in items:
             if isinstance(metric, Counter):
-                counters[name] = metric.value
+                counters[name] = metric.read(reset=reset)
             elif isinstance(metric, Gauge):
-                gauges[name] = {"value": metric.value, "max": metric.max}
+                gauges[name] = metric.read()
             else:
-                histograms[name] = metric.summary()
+                histograms[name] = metric.summary(reset=reset)
         return {"counters": counters, "gauges": gauges, "histograms": histograms}

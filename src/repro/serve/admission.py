@@ -1,0 +1,178 @@
+"""Admission control: decide *at the door* which requests to serve.
+
+A detection service under heavy traffic has exactly one honest failure
+mode: a fast, explicit 429.  Everything here exists to make overload
+cheap —
+
+* a **bounded queue**: once ``max_queue`` requests are waiting for a
+  batch slot, new arrivals are shed immediately instead of growing an
+  unbounded backlog the server can never catch up on;
+* a **concurrency limit**: a cap on requests admitted but not yet
+  answered (queued + inferring + serialising), protecting the event
+  loop itself;
+* a **queue-deadline budget**: every admitted request carries a
+  deadline; the batcher fails requests that aged out while queued
+  (:class:`~repro.errors.DeadlineExpiredError`) rather than spending
+  inference on answers nobody is waiting for.
+
+Shedding is communicated with ``Retry-After`` so a well-behaved client
+backs off; the load generator counts 429s separately from errors for
+exactly this reason.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, RequestSheddedError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["AdmissionConfig", "AdmissionTicket", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Tunable admission bounds (defaults sized for a small host)."""
+
+    max_queue: int = 64
+    max_concurrency: int = 128
+    queue_budget_s: float = 0.5
+    retry_after_s: float = 0.05
+
+    def validate(self) -> None:
+        if self.max_queue < 1:
+            raise ConfigurationError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.max_concurrency < 1:
+            raise ConfigurationError(
+                f"max_concurrency must be >= 1, got {self.max_concurrency}"
+            )
+        if self.queue_budget_s <= 0:
+            raise ConfigurationError(
+                f"queue_budget_s must be > 0, got {self.queue_budget_s}"
+            )
+        if self.retry_after_s <= 0:
+            raise ConfigurationError(
+                f"retry_after_s must be > 0, got {self.retry_after_s}"
+            )
+
+
+@dataclass(frozen=True)
+class AdmissionTicket:
+    """Proof of admission, carried by a request through the batcher.
+
+    ``enqueued_pc`` / ``deadline_pc`` are ``time.perf_counter`` instants:
+    the batcher compares the dispatch instant against ``deadline_pc`` to
+    fail aged-out requests fast.
+    """
+
+    enqueued_pc: float
+    deadline_pc: float
+    budget_s: float
+    retry_after_s: float
+
+    def expired(self, now_pc: float | None = None) -> bool:
+        return (time.perf_counter() if now_pc is None else now_pc) > self.deadline_pc
+
+    def waited_s(self, now_pc: float | None = None) -> float:
+        return (time.perf_counter() if now_pc is None else now_pc) - self.enqueued_pc
+
+
+class AdmissionController:
+    """Thread-safe admit/release gate in front of the micro-batcher.
+
+    The controller tracks *admitted-but-unanswered* requests.  The
+    caller reports the current batcher queue depth at admission time
+    (the queue lives in the batcher, not here) and must pair every
+    successful :meth:`try_admit` with exactly one :meth:`release`,
+    however the request ends.
+    """
+
+    def __init__(
+        self,
+        config: AdmissionConfig | None = None,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self._config = config or AdmissionConfig()
+        self._config.validate()
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._admitted = 0
+        self._shed: dict[str, int] = {"queue": 0, "concurrency": 0, "deadline": 0}
+
+    @property
+    def config(self) -> AdmissionConfig:
+        return self._config
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def try_admit(self, queue_depth: int) -> AdmissionTicket:
+        """Admit one request or raise :class:`RequestSheddedError`.
+
+        ``queue_depth`` is the micro-batcher's queue length at the
+        instant of the call; comparing it against ``max_queue`` here
+        keeps one policy point for both bounds.
+        """
+        cfg = self._config
+        with self._lock:
+            if self._inflight >= cfg.max_concurrency:
+                self._shed["concurrency"] += 1
+                self._count_shed("concurrency")
+                raise RequestSheddedError("concurrency", cfg.retry_after_s)
+            if queue_depth >= cfg.max_queue:
+                self._shed["queue"] += 1
+                self._count_shed("queue")
+                raise RequestSheddedError("queue", cfg.retry_after_s)
+            self._inflight += 1
+            self._admitted += 1
+        if self._metrics is not None:
+            self._metrics.counter("serve.admitted").inc()
+            self._metrics.gauge("serve.inflight").set(self._inflight)
+        now = time.perf_counter()
+        return AdmissionTicket(
+            enqueued_pc=now,
+            deadline_pc=now + cfg.queue_budget_s,
+            budget_s=cfg.queue_budget_s,
+            retry_after_s=cfg.retry_after_s,
+        )
+
+    def release(self) -> None:
+        """A previously admitted request finished (any outcome)."""
+        with self._lock:
+            if self._inflight <= 0:
+                raise ConfigurationError("release() without a matching try_admit()")
+            self._inflight -= 1
+        if self._metrics is not None:
+            self._metrics.gauge("serve.inflight").set(self._inflight)
+
+    def record_deadline_shed(self) -> None:
+        """The batcher expired an admitted request before dispatch."""
+        with self._lock:
+            self._shed["deadline"] += 1
+        self._count_shed("deadline")
+
+    def _count_shed(self, reason: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(f"serve.shed.{reason}").inc()
+
+    def to_dict(self) -> dict:
+        """The ``/stats`` admission block."""
+        cfg = self._config
+        with self._lock:
+            return {
+                "inflight": self._inflight,
+                "admitted": self._admitted,
+                "shed": dict(self._shed),
+                "limits": {
+                    "max_queue": cfg.max_queue,
+                    "max_concurrency": cfg.max_concurrency,
+                    "queue_budget_s": cfg.queue_budget_s,
+                    "retry_after_s": cfg.retry_after_s,
+                },
+            }

@@ -1,0 +1,424 @@
+"""The detection service: asyncio HTTP front end over the engine.
+
+:class:`DetectionServer` owns the whole serving stack — one
+:class:`~repro.detect.pipeline.FaceDetectionPipeline`, one
+:class:`~repro.detect.engine.DetectionEngine`, one
+:class:`~repro.serve.batcher.MicroBatcher`, one
+:class:`~repro.serve.admission.AdmissionController` — and speaks the
+protocol from :mod:`repro.serve.protocol` on a plain TCP listener.
+
+Request lifecycle for ``POST /v1/detect`` (each stage is a span on the
+shared tracer, so one Chrome trace shows network-to-network latency
+next to the simulated kernel schedule):
+
+    read request -> admit (or 429) -> decode frame -> queue_wait
+    -> batch_form -> infer (engine batch) -> serialize -> write
+
+Lifecycle endpoints:
+
+* ``/healthz`` — liveness: 200 from the instant the listener binds;
+* ``/readyz`` — readiness: 503 until warmup (one real frame through the
+  engine, so first-request latency is never paying pool/workspace
+  construction) and 503 again once a drain starts;
+* ``/metrics`` — the raw metrics-registry snapshot as JSON;
+* ``/stats`` — the full observability snapshot plus the serving block
+  (admission counters, batcher config, lifecycle state).
+
+Shutdown is a graceful drain: stop accepting, finish queued requests,
+then tear down the engine.  A SIGTERM/SIGINT triggers the same path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import (
+    BadRequestError,
+    ConfigurationError,
+    RequestSheddedError,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import build_snapshot
+from repro.obs.tracer import Tracer
+from repro.serve.admission import AdmissionConfig, AdmissionController
+from repro.serve.batcher import MicroBatcher
+from repro.serve.protocol import (
+    decode_frame,
+    detections_payload,
+    encode_response,
+    json_body,
+    read_request,
+)
+
+__all__ = ["ServerConfig", "DetectionServer"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything ``repro serve`` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 8035
+    cascade: str = "quick"
+    backend: str | None = None
+    workers: int = 1
+    sharding: str = "threads"
+    max_batch: int = 4
+    max_delay_s: float = 0.005
+    max_body_bytes: int = 8 * 1024 * 1024
+    admission: AdmissionConfig = AdmissionConfig()
+    #: frame side length used for the warmup frame
+    warmup_side: int = 96
+    trace: bool = False
+
+    def validate(self) -> None:
+        if self.workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {self.workers}")
+        if self.max_body_bytes < 1024:
+            raise ConfigurationError(
+                f"max_body_bytes must be >= 1024, got {self.max_body_bytes}"
+            )
+        self.admission.validate()
+
+
+def _build_pipeline(cascade: str, backend: str | None, tracer: Tracer):
+    from repro import zoo
+    from repro.detect.pipeline import FaceDetectionPipeline, PipelineConfig
+
+    cascades = {
+        "quick": zoo.quick_cascade,
+        "paper": zoo.paper_cascade,
+        "opencv": zoo.opencv_like_cascade,
+    }
+    if cascade not in cascades:
+        raise ConfigurationError(
+            f"unknown cascade {cascade!r}; choose from {sorted(cascades)}"
+        )
+    return FaceDetectionPipeline(
+        cascades[cascade](seed=0),
+        config=PipelineConfig(backend=backend),
+        tracer=tracer,
+    )
+
+
+class DetectionServer:
+    """One serving instance: listener + admission + batcher + engine."""
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self._config = config or ServerConfig()
+        self._config.validate()
+        self._tracer = Tracer(enabled=self._config.trace)
+        self._metrics = MetricsRegistry()
+        self._admission = AdmissionController(
+            self._config.admission, metrics=self._metrics
+        )
+        self._pipeline = None
+        self._engine = None
+        self._batcher: MicroBatcher | None = None
+        # ONE infer thread: batches serialise through it in order, and
+        # each dispatch is a single executor hop for the whole batch
+        self._infer_pool: ThreadPoolExecutor | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._ready = asyncio.Event()
+        self._draining = False
+        self._stopped = asyncio.Event()
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._busy = 0
+        self._idle_waiter: asyncio.Event = asyncio.Event()
+        self._started_pc: float | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    @property
+    def config(self) -> ServerConfig:
+        return self._config
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._metrics
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` in tests)."""
+        if self._server is None:
+            raise ConfigurationError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def ready(self) -> bool:
+        return self._ready.is_set() and not self._draining
+
+    async def start(self) -> None:
+        """Bind the listener and warm up; returns once ready."""
+        if self._server is not None:
+            raise ConfigurationError("server is already started")
+        from repro.detect.engine import DetectionEngine
+
+        cfg = self._config
+        self._pipeline = _build_pipeline(cfg.cascade, cfg.backend, self._tracer)
+        self._engine = DetectionEngine(
+            self._pipeline,
+            workers=cfg.workers,
+            sharding=cfg.sharding,
+            tracer=self._tracer,
+            metrics=self._metrics,
+        )
+        self._infer_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-infer"
+        )
+        self._batcher = MicroBatcher(
+            self._infer,
+            max_batch=cfg.max_batch,
+            max_delay_s=cfg.max_delay_s,
+            executor=self._infer_pool,
+            tracer=self._tracer,
+            metrics=self._metrics,
+        )
+        self._batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, cfg.host, cfg.port
+        )
+        self._started_pc = time.perf_counter()
+        # liveness is now green; readiness flips after the warmup frame
+        await asyncio.get_running_loop().run_in_executor(
+            self._infer_pool, self._warmup
+        )
+        self._ready.set()
+
+    def _infer(self, lumas: list) -> list:
+        return list(self._engine.process_frames(lumas))
+
+    def _warmup(self) -> None:
+        side = self._config.warmup_side
+        frame = np.zeros((side, side), dtype=np.float32)
+        list(self._engine.process_frames([frame]))
+        self._metrics.counter("serve.warmup_frames").inc()
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT start a graceful drain (idempotent)."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                sig, lambda: asyncio.ensure_future(self.drain())
+            )
+
+    async def wait_closed(self) -> None:
+        """Block until a drain completes."""
+        await self._stopped.wait()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: finish admitted work, then tear down.
+
+        Kubernetes-style ordering: readiness flips to 503 *first* (so
+        ``/readyz`` pollers and load balancers observe the drain while
+        in-flight requests finish), new ``/v1/detect`` requests are
+        refused with 503 + ``Retry-After``, and only once the last busy
+        request completes does the listener close and the engine tear
+        down.
+        """
+        if self._draining:
+            await self._stopped.wait()
+            return
+        self._draining = True  # /readyz answers 503 from here on
+        while self._busy > 0:
+            self._idle_waiter.clear()
+            await self._idle_waiter.wait()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._connections):
+            writer.close()
+        if self._batcher is not None:
+            await self._batcher.aclose()
+        if self._engine is not None:
+            self._engine.drain()
+            self._engine.close()
+        if self._infer_pool is not None:
+            self._infer_pool.shutdown(wait=True)
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # connection handling
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body_bytes=self._config.max_body_bytes
+                    )
+                except BadRequestError as exc:
+                    self._count_status(exc.status)
+                    writer.write(
+                        encode_response(
+                            exc.status,
+                            json_body({"error": str(exc)}),
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                # busy covers the response write too: a drain must not
+                # close the connection between compute and flush
+                self._busy += 1
+                try:
+                    status, payload = await self._respond(request)
+                    keep_alive = request.keep_alive and not self._draining
+                    writer.write(
+                        encode_response(status, payload[0], keep_alive=keep_alive,
+                                        extra_headers=payload[1])
+                    )
+                    await writer.drain()
+                finally:
+                    self._busy -= 1
+                    if self._busy == 0:
+                        self._idle_waiter.set()
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+
+    async def _respond(self, request) -> tuple[int, tuple[bytes, dict | None]]:
+        """Route one request; returns ``(status, (body, extra_headers))``."""
+        try:
+            return await self._route(request)
+        except BadRequestError as exc:
+            self._count_status(exc.status)
+            return exc.status, (json_body({"error": str(exc)}), None)
+        except RequestSheddedError as exc:
+            self._count_status(429)
+            return 429, (
+                json_body(
+                    {
+                        "error": str(exc),
+                        "reason": exc.reason,
+                        "retry_after_s": exc.retry_after_s,
+                    }
+                ),
+                {"Retry-After": str(max(1, math.ceil(exc.retry_after_s)))},
+            )
+        except Exception as exc:  # pragma: no cover - defensive
+            self._count_status(500)
+            return 500, (
+                json_body({"error": f"{type(exc).__name__}: {exc}"}),
+                None,
+            )
+
+    async def _route(self, request) -> tuple[int, tuple[bytes, dict | None]]:
+        path = request.path
+        if path == "/v1/detect":
+            if request.method != "POST":
+                return 405, (
+                    json_body({"error": "use POST"}),
+                    {"Allow": "POST"},
+                )
+            return await self._detect(request)
+        if request.method not in ("GET", "HEAD"):
+            return 405, (json_body({"error": "use GET"}), {"Allow": "GET, HEAD"})
+        if path == "/healthz":
+            return 200, (json_body({"status": "ok"}), None)
+        if path == "/readyz":
+            if self.ready:
+                return 200, (json_body({"status": "ready"}), None)
+            state = "draining" if self._draining else "warming"
+            return 503, (
+                json_body({"status": state}),
+                {"Retry-After": "1"},
+            )
+        if path == "/metrics":
+            return 200, (json_body(self._metrics.snapshot()), None)
+        if path == "/stats":
+            return 200, (json_body(self._stats()), None)
+        return 404, (json_body({"error": f"no route {path!r}"}), None)
+
+    async def _detect(self, request) -> tuple[int, tuple[bytes, dict | None]]:
+        if not self.ready:
+            state = "draining" if self._draining else "warming"
+            return 503, (
+                json_body({"error": f"server is {state}"}),
+                {"Retry-After": "1"},
+            )
+        self._count_status(None)  # request seen
+        ticket = self._admission.try_admit(self._batcher.queue_depth)
+        try:
+            luma = decode_frame(request)
+            result = await self._batcher.submit(luma, ticket)
+            with self._tracer.span("serialize", cat="serve"):
+                body = json_body(detections_payload(result))
+        finally:
+            self._admission.release()
+        self._count_status(200)
+        return 200, (body, None)
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def _count_status(self, status: int | None) -> None:
+        if status is None:
+            self._metrics.counter("serve.requests").inc()
+        else:
+            self._metrics.counter(f"serve.http.{status}").inc()
+
+    def _stats(self) -> dict:
+        backend = self._pipeline.backend.name if self._pipeline else None
+        snap = build_snapshot(self._metrics, self._tracer, backend=backend)
+        snap["serve"] = {
+            "state": (
+                "draining"
+                if self._draining
+                else ("ready" if self._ready.is_set() else "warming")
+            ),
+            "uptime_s": (
+                time.perf_counter() - self._started_pc
+                if self._started_pc is not None
+                else 0.0
+            ),
+            "admission": self._admission.to_dict(),
+            "batcher": {
+                "max_batch": self._config.max_batch,
+                "max_delay_s": self._config.max_delay_s,
+                "queue_depth": self._batcher.queue_depth if self._batcher else 0,
+            },
+            "engine": {
+                "workers": self._engine.workers if self._engine else 0,
+                "sharding": self._engine.sharding.value if self._engine else None,
+            },
+        }
+        return snap
+
+
+async def run_server(config: ServerConfig, *, ready_line: bool = True) -> None:
+    """``repro serve``: start, announce, serve until SIGTERM/SIGINT."""
+    server = DetectionServer(config)
+    await server.start()
+    server.install_signal_handlers()
+    if ready_line:
+        cfg = server.config
+        print(
+            f"repro serve: listening on http://{cfg.host}:{server.port} "
+            f"(cascade={cfg.cascade}, workers={cfg.workers}, "
+            f"max_batch={cfg.max_batch}, max_delay={cfg.max_delay_s * 1e3:.1f}ms)",
+            flush=True,
+        )
+    await server.wait_closed()

@@ -1,0 +1,92 @@
+"""Binary PNM (PGM P5 / PPM P6) codecs shared by the CLI and the server.
+
+The serving wire format for raw frames is a binary PGM body — the
+simplest self-describing grayscale container there is, and the same
+format the ``repro detect`` CLI already reads from disk.  Keeping the
+byte-level codec here lets :mod:`repro.cli`, :mod:`repro.serve` and the
+load generator share one implementation (and one set of error messages).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["parse_pnm", "encode_pgm", "read_pnm", "write_ppm"]
+
+
+def parse_pnm(data: bytes, *, what: str = "request body") -> np.ndarray:
+    """Decode a binary PGM (P5) or PPM (P6) buffer as grayscale float32.
+
+    PPM input is reduced with the BT.601 luma weights, matching what the
+    detector sees from the NV12 decoder path.  Raises
+    :class:`~repro.errors.ReproError` on anything that is not a
+    well-formed binary PNM — truncated pixels included, so a caller can
+    map it to a client error rather than crashing mid-pipeline.
+    """
+    if data[:2] not in (b"P5", b"P6"):
+        raise ReproError(f"{what}: only binary PGM (P5) / PPM (P6) supported")
+    fields: list[int] = []
+    pos = 2
+    try:
+        while len(fields) < 3:
+            while pos < len(data) and data[pos : pos + 1].isspace():
+                pos += 1
+            if data[pos : pos + 1] == b"#":  # comment line
+                pos = data.index(b"\n", pos) + 1
+                continue
+            start = pos
+            while pos < len(data) and not data[pos : pos + 1].isspace():
+                pos += 1
+            fields.append(int(data[start:pos]))
+    except ValueError:
+        raise ReproError(f"{what}: malformed PNM header") from None
+    pos += 1  # single whitespace after maxval
+    width, height, maxval = fields
+    if width <= 0 or height <= 0:
+        raise ReproError(f"{what}: PNM dimensions must be positive")
+    if maxval > 255:
+        raise ReproError(f"{what}: 16-bit PNM not supported")
+    channels = 1 if data[:2] == b"P5" else 3
+    expected = width * height * channels
+    if len(data) - pos < expected:
+        raise ReproError(
+            f"{what}: truncated PNM pixel data "
+            f"({len(data) - pos} of {expected} bytes)"
+        )
+    pixels = np.frombuffer(data, dtype=np.uint8, count=expected, offset=pos)
+    if channels == 1:
+        return pixels.reshape(height, width).astype(np.float32)
+    rgb = pixels.reshape(height, width, 3).astype(np.float32)
+    return 0.299 * rgb[:, :, 0] + 0.587 * rgb[:, :, 1] + 0.114 * rgb[:, :, 2]
+
+
+def encode_pgm(luma: np.ndarray) -> bytes:
+    """Encode an (h, w) array as a binary PGM (P5) buffer.
+
+    Float inputs are rounded and clipped to the 8-bit range — the
+    synthetic scenes already live in [0, 255], so a decode of the result
+    reproduces the float32 frame the renderer produced.
+    """
+    arr = np.asarray(luma)
+    if arr.ndim != 2:
+        raise ReproError(f"encode_pgm needs an (h, w) array, got shape {arr.shape}")
+    h, w = arr.shape
+    pixels = np.clip(np.rint(arr), 0, 255).astype(np.uint8)
+    return f"P5 {w} {h} 255\n".encode("ascii") + pixels.tobytes()
+
+
+def read_pnm(path: str | Path) -> np.ndarray:
+    """Read a binary PGM (P5) or PPM (P6) image as grayscale float32."""
+    return parse_pnm(Path(path).read_bytes(), what=str(path))
+
+
+def write_ppm(path: str | Path, rgb: np.ndarray) -> None:
+    """Write an (h, w, 3) uint8 array as a binary PPM."""
+    h, w, _ = rgb.shape
+    with open(path, "wb") as f:
+        f.write(f"P6 {w} {h} 255\n".encode("ascii"))
+        f.write(np.ascontiguousarray(rgb, dtype=np.uint8).tobytes())

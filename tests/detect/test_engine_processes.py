@@ -220,3 +220,21 @@ class TestObservability:
             e["tid"] for e in events if e.get("ph") == "X" and e.get("cat") == "engine"
         }
         assert tids  # at least one worker-pid lane made it to the export
+
+
+class TestSubmitAcrossProcesses:
+    def test_submit_matches_serial(self, pipeline, frames, engine):
+        reference = [pipeline.process_frame(f) for f in frames]
+        futures = [engine.submit(f) for f in frames]
+        engine.drain()
+        for ref, future in zip(reference, futures):
+            assert future.done()
+            assert _detections(future.result()) == _detections(ref)
+
+    def test_submit_overflow_falls_back_to_pickle(self, pipeline, frames, engine):
+        # more outstanding submissions than ring slots: the extras ship
+        # inline rather than raising, and every result is still correct
+        reference = _detections(pipeline.process_frame(frames[0]))
+        futures = [engine.submit(frames[0]) for _ in range(engine.max_in_flight + 3)]
+        engine.drain()
+        assert all(_detections(f.result()) == reference for f in futures)

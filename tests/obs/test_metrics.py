@@ -134,3 +134,96 @@ class TestSnapshotDeterminism:
         assert latency["p95"] >= latency["p50"] > 0.0
         assert snap["max_queue_depth"] >= 1
         assert 0.0 <= snap["stage1_rejection_rate"] <= 1.0
+
+
+class TestSnapshotUnderConcurrentWriters:
+    """The serving layer reads ``snapshot()`` on every ``/metrics`` hit
+    while engine workers write; no read may ever be torn or lost."""
+
+    def _hammer(self, registry, stop, wrote):
+        i = 0
+        while not stop.is_set():
+            registry.counter("c").inc()
+            registry.histogram("h").observe(float(i % 7))
+            registry.gauge("g").set(float(i % 11))
+            i += 1
+        wrote.append(i)
+
+    def test_snapshot_is_consistent_and_monotone(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        wrote: list[int] = []
+        workers = [
+            threading.Thread(target=self._hammer, args=(registry, stop, wrote))
+            for _ in range(4)
+        ]
+        for t in workers:
+            t.start()
+        try:
+            last_counter = 0.0
+            for _ in range(200):
+                snap = registry.snapshot()
+                c = snap["counters"]["c"]
+                assert c >= last_counter, "counter went backwards across snapshots"
+                last_counter = c
+                h = snap["histograms"]["h"]
+                if h["count"]:
+                    assert h["min"] <= h["p50"] <= h["p95"] <= h["max"]
+                    assert h["count"] * h["min"] <= h["sum"] + 1e-9
+                    assert h["sum"] <= h["count"] * h["max"] + 1e-9
+                g = snap["gauges"]["g"]
+                assert g["max"] >= g["value"], "gauge (value, max) pair torn"
+        finally:
+            stop.set()
+            for t in workers:
+                t.join()
+        total = sum(wrote)
+        final = registry.snapshot()
+        assert final["counters"]["c"] == pytest.approx(total)
+        assert final["histograms"]["h"]["count"] == total
+
+    def test_resetting_snapshots_drain_exactly_once(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        wrote: list[int] = []
+        workers = [
+            threading.Thread(target=self._hammer, args=(registry, stop, wrote))
+            for _ in range(4)
+        ]
+        for t in workers:
+            t.start()
+        drained_count = 0
+        drained_sum = 0.0
+        drained_obs = 0
+        try:
+            for _ in range(100):
+                snap = registry.snapshot(reset=True)
+                drained_count += snap["counters"].get("c", 0.0)
+                drained_sum += snap["histograms"].get("h", {}).get("sum", 0.0)
+                drained_obs += snap["histograms"].get("h", {}).get("count", 0)
+        finally:
+            stop.set()
+            for t in workers:
+                t.join()
+        final = registry.snapshot(reset=True)
+        drained_count += final["counters"]["c"]
+        drained_sum += final["histograms"]["h"]["sum"]
+        drained_obs += final["histograms"]["h"]["count"]
+        total = sum(wrote)
+        assert drained_count == pytest.approx(total)
+        assert drained_obs == total
+        expected_sum = sum(float(i % 7) for n in wrote for i in range(n))
+        assert drained_sum == pytest.approx(expected_sum)
+        # gauges survive draining snapshots
+        assert registry.snapshot()["gauges"]["g"]["max"] >= 0.0
+
+    def test_non_resetting_snapshot_does_not_drain(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.histogram("h").observe(1.0)
+        assert registry.snapshot()["counters"]["c"] == 3.0
+        assert registry.snapshot()["counters"]["c"] == 3.0
+        assert registry.snapshot(reset=True)["histograms"]["h"]["count"] == 1
+        after = registry.snapshot()
+        assert after["counters"]["c"] == 0.0
+        assert after["histograms"]["h"]["count"] == 0

@@ -1,0 +1,83 @@
+"""Admission-control unit tests: bounds, tickets, and shed accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RequestSheddedError
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.admission import AdmissionConfig, AdmissionController
+
+
+class TestBounds:
+    def test_concurrency_bound_sheds(self):
+        ctl = AdmissionController(AdmissionConfig(max_concurrency=2, max_queue=100))
+        ctl.try_admit(0)
+        ctl.try_admit(0)
+        with pytest.raises(RequestSheddedError) as err:
+            ctl.try_admit(0)
+        assert err.value.reason == "concurrency"
+        assert err.value.retry_after_s > 0
+
+    def test_queue_bound_sheds(self):
+        ctl = AdmissionController(AdmissionConfig(max_queue=4))
+        with pytest.raises(RequestSheddedError) as err:
+            ctl.try_admit(queue_depth=4)
+        assert err.value.reason == "queue"
+
+    def test_release_frees_a_slot(self):
+        ctl = AdmissionController(AdmissionConfig(max_concurrency=1))
+        ctl.try_admit(0)
+        ctl.release()
+        ctl.try_admit(0)  # would raise if the slot leaked
+
+    def test_unmatched_release_is_an_error(self):
+        ctl = AdmissionController()
+        with pytest.raises(ConfigurationError):
+            ctl.release()
+
+    def test_config_validation(self):
+        for bad in (
+            AdmissionConfig(max_queue=0),
+            AdmissionConfig(max_concurrency=0),
+            AdmissionConfig(queue_budget_s=0.0),
+            AdmissionConfig(retry_after_s=-1.0),
+        ):
+            with pytest.raises(ConfigurationError):
+                AdmissionController(bad)
+
+
+class TestTicket:
+    def test_deadline_from_budget(self):
+        ctl = AdmissionController(AdmissionConfig(queue_budget_s=0.25))
+        ticket = ctl.try_admit(0)
+        assert ticket.budget_s == 0.25
+        assert not ticket.expired(ticket.enqueued_pc)
+        assert ticket.expired(ticket.enqueued_pc + 0.3)
+        assert ticket.waited_s(ticket.enqueued_pc + 0.1) == pytest.approx(0.1)
+
+
+class TestAccounting:
+    def test_shed_counters_and_stats_block(self):
+        metrics = MetricsRegistry()
+        ctl = AdmissionController(
+            AdmissionConfig(max_queue=1, max_concurrency=1), metrics=metrics
+        )
+        ctl.try_admit(0)
+        for _ in range(3):
+            with pytest.raises(RequestSheddedError):
+                ctl.try_admit(0)
+        ctl.record_deadline_shed()
+        ctl.release()
+        with pytest.raises(RequestSheddedError):
+            ctl.try_admit(queue_depth=1)
+
+        stats = ctl.to_dict()
+        assert stats["admitted"] == 1
+        assert stats["inflight"] == 0
+        assert stats["shed"] == {"queue": 1, "concurrency": 3, "deadline": 1}
+        assert stats["limits"]["max_queue"] == 1
+
+        counters = metrics.snapshot()["counters"]
+        assert counters["serve.admitted"] == 1
+        assert counters["serve.shed.concurrency"] == 3
+        assert counters["serve.shed.queue"] == 1
+        assert counters["serve.shed.deadline"] == 1

@@ -1,0 +1,256 @@
+"""Micro-batcher unit tests: formation policy, deadlines, lifecycle.
+
+The batcher is tested against a stub ``infer`` function (no engine, no
+sockets) so batch *formation* behaviour — burst coalescing, max-batch
+splitting, max-delay flushing, fail-fast expiry — is observable
+directly from the batch sizes the stub records.
+"""
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import ConfigurationError, DeadlineExpiredError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.serve.admission import AdmissionTicket
+from repro.serve.batcher import MicroBatcher
+
+
+def ticket(budget_s: float = 5.0) -> AdmissionTicket:
+    now = time.perf_counter()
+    return AdmissionTicket(
+        enqueued_pc=now,
+        deadline_pc=now + budget_s,
+        budget_s=budget_s,
+        retry_after_s=0.05,
+    )
+
+
+def run_batch(coro):
+    return asyncio.run(coro)
+
+
+class _Recorder:
+    """Stub infer: records batch sizes, echoes inputs."""
+
+    def __init__(self, delay_s: float = 0.0):
+        self.batches: list[int] = []
+        self.delay_s = delay_s
+
+    def __call__(self, items: list) -> list:
+        self.batches.append(len(items))
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return [f"r:{item}" for item in items]
+
+
+class TestFormation:
+    def test_burst_coalesces_into_one_batch(self):
+        async def drive():
+            infer = _Recorder()
+            with ThreadPoolExecutor(1) as pool:
+                batcher = MicroBatcher(
+                    infer, max_batch=8, max_delay_s=0.05, executor=pool
+                )
+                batcher.start()
+                results = await asyncio.gather(
+                    *(batcher.submit(i, ticket()) for i in range(6))
+                )
+                await batcher.aclose()
+            return infer.batches, results
+
+        batches, results = run_batch(drive())
+        assert results == [f"r:{i}" for i in range(6)]
+        # a 6-request burst must not become 6 single-frame dispatches
+        assert batches[0] >= 2
+        assert sum(batches) == 6
+
+    def test_max_batch_splits_oversized_bursts(self):
+        async def drive():
+            infer = _Recorder()
+            with ThreadPoolExecutor(1) as pool:
+                batcher = MicroBatcher(
+                    infer, max_batch=4, max_delay_s=0.05, executor=pool
+                )
+                batcher.start()
+                await asyncio.gather(
+                    *(batcher.submit(i, ticket()) for i in range(10))
+                )
+                await batcher.aclose()
+            return infer.batches
+
+        batches = run_batch(drive())
+        assert max(batches) <= 4
+        assert sum(batches) == 10
+
+    def test_lone_request_flushes_after_max_delay(self):
+        async def drive():
+            infer = _Recorder()
+            with ThreadPoolExecutor(1) as pool:
+                batcher = MicroBatcher(
+                    infer, max_batch=8, max_delay_s=0.02, executor=pool
+                )
+                batcher.start()
+                start = time.perf_counter()
+                result = await batcher.submit("solo", ticket())
+                waited = time.perf_counter() - start
+                await batcher.aclose()
+            return result, waited, infer.batches
+
+        result, waited, batches = run_batch(drive())
+        assert result == "r:solo"
+        assert batches == [1]
+        # it waited for company (the window) but not forever
+        assert waited < 5.0
+
+    def test_queue_accumulates_during_inference(self):
+        """Double-buffering: requests arriving mid-infer form the next batch."""
+
+        async def drive():
+            infer = _Recorder(delay_s=0.05)
+            with ThreadPoolExecutor(1) as pool:
+                batcher = MicroBatcher(
+                    infer, max_batch=8, max_delay_s=0.005, executor=pool
+                )
+                batcher.start()
+                first = asyncio.ensure_future(batcher.submit("a", ticket()))
+                await asyncio.sleep(0.02)  # first batch is now inferring
+                rest = [
+                    asyncio.ensure_future(batcher.submit(i, ticket()))
+                    for i in range(4)
+                ]
+                await asyncio.gather(first, *rest)
+                await batcher.aclose()
+            return infer.batches
+
+        batches = run_batch(drive())
+        assert batches[0] == 1
+        assert batches[1] == 4  # coalesced while batch 0 was on the executor
+
+
+class TestDeadlines:
+    def test_expired_requests_fail_fast_without_inference(self):
+        async def drive():
+            infer = _Recorder(delay_s=0.08)
+            with ThreadPoolExecutor(1) as pool:
+                batcher = MicroBatcher(
+                    infer, max_batch=1, max_delay_s=0.0, executor=pool
+                )
+                batcher.start()
+                # first request occupies the executor; the second's tiny
+                # budget expires while it waits in the queue
+                first = asyncio.ensure_future(batcher.submit("slow", ticket()))
+                await asyncio.sleep(0.01)
+                with pytest.raises(DeadlineExpiredError) as err:
+                    await batcher.submit("stale", ticket(budget_s=0.01))
+                await first
+                await batcher.aclose()
+            return infer.batches, err.value
+
+        batches, exc = run_batch(drive())
+        # the stale request was never inferred
+        assert sum(batches) == 1
+        assert exc.waited_s > exc.budget_s
+        assert exc.reason == "deadline"
+
+
+class TestLifecycle:
+    def test_infer_errors_propagate_to_every_waiter(self):
+        async def drive():
+            def broken(items):
+                raise RuntimeError("engine exploded")
+
+            with ThreadPoolExecutor(1) as pool:
+                batcher = MicroBatcher(
+                    broken, max_batch=4, max_delay_s=0.01, executor=pool
+                )
+                batcher.start()
+                results = await asyncio.gather(
+                    *(batcher.submit(i, ticket()) for i in range(3)),
+                    return_exceptions=True,
+                )
+                await batcher.aclose()
+            return results
+
+        results = run_batch(drive())
+        assert len(results) == 3
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_aclose_finishes_queued_work(self):
+        async def drive():
+            infer = _Recorder(delay_s=0.02)
+            with ThreadPoolExecutor(1) as pool:
+                batcher = MicroBatcher(
+                    infer, max_batch=2, max_delay_s=0.001, executor=pool
+                )
+                batcher.start()
+                pending = [
+                    asyncio.ensure_future(batcher.submit(i, ticket()))
+                    for i in range(5)
+                ]
+                await asyncio.sleep(0)  # all queued, none done
+                await batcher.aclose()
+                return await asyncio.gather(*pending)
+
+        results = run_batch(drive())
+        assert results == [f"r:{i}" for i in range(5)]
+
+    def test_submit_after_close_raises(self):
+        async def drive():
+            with ThreadPoolExecutor(1) as pool:
+                batcher = MicroBatcher(
+                    _Recorder(), max_batch=2, max_delay_s=0.0, executor=pool
+                )
+                batcher.start()
+                await batcher.aclose()
+                with pytest.raises(ConfigurationError):
+                    await batcher.submit("late", ticket())
+
+        run_batch(drive())
+
+    def test_config_validation(self):
+        with ThreadPoolExecutor(1) as pool:
+            with pytest.raises(ConfigurationError):
+                MicroBatcher(_Recorder(), max_batch=0, executor=pool)
+            with pytest.raises(ConfigurationError):
+                MicroBatcher(_Recorder(), max_delay_s=-1.0, executor=pool)
+
+
+class TestObservability:
+    def test_spans_and_metrics_for_one_batch(self):
+        async def drive():
+            infer = _Recorder()
+            tracer = Tracer()
+            metrics = MetricsRegistry()
+            with ThreadPoolExecutor(1) as pool:
+                batcher = MicroBatcher(
+                    infer,
+                    max_batch=4,
+                    max_delay_s=0.01,
+                    executor=pool,
+                    tracer=tracer,
+                    metrics=metrics,
+                )
+                batcher.start()
+                await asyncio.gather(
+                    *(batcher.submit(i, ticket()) for i in range(3))
+                )
+                await batcher.aclose()
+            return tracer, metrics
+
+        tracer, metrics = run_batch(drive())
+        names = [s.name for s in tracer.spans()]
+        assert names.count("queue_wait") == 3
+        assert "batch_form" in names
+        assert "infer" in names
+        infer_spans = [s for s in tracer.spans() if s.name == "infer"]
+        assert all(s.cat == "serve" for s in infer_spans)
+
+        snap = metrics.snapshot()
+        assert snap["counters"]["serve.batches"] >= 1
+        assert snap["histograms"]["serve.batch_size"]["count"] >= 1
+        assert snap["histograms"]["serve.queue_wait_s"]["count"] == 3
+        assert snap["histograms"]["serve.infer_s"]["count"] >= 1

@@ -35,7 +35,8 @@ def test_triggers(workflow):
 
 def test_jobs_present(workflow):
     assert {
-        "lint", "test", "test-vectorized", "test-processes", "bench"
+        "lint", "test", "test-vectorized", "test-processes", "bench",
+        "serve-smoke",
     } <= set(workflow["jobs"])
 
 
@@ -69,7 +70,10 @@ def test_process_sharding_job(workflow):
 
 
 def test_pip_caching(workflow):
-    for name in ("lint", "test", "test-vectorized", "test-processes", "bench"):
+    for name in (
+        "lint", "test", "test-vectorized", "test-processes", "bench",
+        "serve-smoke",
+    ):
         setup = next(
             step
             for step in workflow["jobs"][name]["steps"]
@@ -110,6 +114,30 @@ def test_bench_job_smoke_and_artifact(workflow):
         "BENCH_throughput-processes",
     ):
         assert uploads[name].get("if-no-files-found") == "error"
+
+
+def test_serve_smoke_job(workflow):
+    """The serving stack must be exercised end to end in CI: the serve
+    test suite, the smoke-mode serving benchmark, and a real
+    ``repro serve`` process driven by ``repro loadtest`` then drained
+    with SIGTERM."""
+    job = workflow["jobs"]["serve-smoke"]
+    text = _steps_text(job)
+    assert "tests/serve" in text
+    assert "REPRO_BENCH_SMOKE=1" in text
+    assert "benchmarks/test_serving.py" in text
+    assert "repro serve" in text
+    assert "repro loadtest" in text
+    assert "kill -TERM" in text, "the CLI round trip must drain via SIGTERM"
+    uploads = {
+        step["with"]["name"]: step["with"]
+        for step in job["steps"]
+        if "upload-artifact" in str(step.get("uses", ""))
+    }
+    serving = uploads["BENCH_serving"]
+    assert "BENCH_serving.json" in str(serving["path"])
+    assert "BENCH_serving-loadtest.json" in str(serving["path"])
+    assert serving.get("if-no-files-found") == "error"
 
 
 def test_bench_job_records_and_uploads_trace(workflow):

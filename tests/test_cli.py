@@ -44,10 +44,21 @@ class TestCommands:
         assert "The Dictator" in out
 
     def test_info(self, capsys):
+        import repro
+
         assert main(["info"]) == 0
         out = capsys.readouterr().out
         assert "GTX 470" in out
         assert "profile" in out
+        assert f"repro {repro.__version__}" in out
+
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
 
     def test_bench_table1(self, capsys):
         assert main(["bench", "table1"]) == 0

@@ -1,11 +1,26 @@
 """Package-level tests: public API surface and metadata."""
 
+import re
+from pathlib import Path
+
 import repro
 
 
 class TestPackageSurface:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        """``__version__`` surfaces the pyproject.toml version.
+
+        Installed trees read distribution metadata; PYTHONPATH=src runs
+        use the hard-coded fallback — either way the value must match
+        the pyproject the tree was built from, so the fallback cannot
+        silently drift.
+        """
+        pyproject = Path(__file__).resolve().parent.parent / "pyproject.toml"
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.MULTILINE
+        )
+        assert match, "pyproject.toml has no version field"
+        assert repro.__version__ == match.group(1)
 
     def test_top_level_api(self):
         assert hasattr(repro, "FaceDetector")
