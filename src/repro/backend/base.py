@@ -115,6 +115,39 @@ class CascadeEvaluator(ABC):
     def evaluate(self, ii: np.ndarray, sqii: np.ndarray) -> CascadeMaps:
         """Walk every anchor through the cascade (padded integrals in)."""
 
+    def window_sigma(self, ii: np.ndarray, sqii: np.ndarray) -> np.ndarray:
+        """Per-anchor window pixel std dev — the :meth:`evaluate` preamble
+        alone.  The fast path's variance screen reads this without paying
+        for any cascade stage; backends with a cheaper route override it.
+        """
+        return self.evaluate(ii, sqii).sigma_map
+
+    def evaluate_masked(
+        self,
+        ii: np.ndarray,
+        sqii: np.ndarray,
+        active: np.ndarray,
+        *,
+        sigma: np.ndarray | None = None,
+    ) -> CascadeMaps:
+        """Walk only the anchors where ``active`` is True.
+
+        Inactive anchors stay at depth 0 / margin 0.  For every *active*
+        anchor the result matches a full :meth:`evaluate` bit-for-bit
+        (sparse gathers read the same float64 integral values as dense
+        slices).  ``sigma`` may pass in an already-computed
+        :meth:`window_sigma` grid.  The default implementation evaluates
+        everything and zeroes the inactive anchors — correct, not fast.
+        """
+        maps = self.evaluate(ii, sqii)
+        if sigma is None:
+            sigma = maps.sigma_map
+        return CascadeMaps(
+            depth_map=np.where(active, maps.depth_map, 0).astype(np.int32),
+            margin_map=np.where(active, maps.margin_map, 0.0),
+            sigma_map=sigma,
+        )
+
 
 class ComputeBackend(ABC):
     """One implementation of every per-frame numeric kernel (see module doc)."""

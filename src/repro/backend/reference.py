@@ -253,12 +253,16 @@ class ReferenceCascadeEvaluator(CascadeEvaluator):
         # read at construction time so tests can monkeypatch the module global
         return SPARSE_THRESHOLD
 
-    def evaluate(self, ii: np.ndarray, sqii: np.ndarray) -> CascadeMaps:
+    def window_sigma(self, ii: np.ndarray, sqii: np.ndarray) -> np.ndarray:
+        """Window sums and variance normalisation (identical op order).
+
+        This is the :meth:`evaluate` preamble verbatim — the fast path's
+        variance screen calls it on its own, and :meth:`evaluate` calls
+        it too, so both read bit-identical sigma grids.
+        """
         ay, ax = self._ay, self._ax
         w = self._window
         area = WINDOW_AREA
-
-        # window sums and variance normalisation (identical op order)
         np.subtract(ii[w:, w:], ii[:-w, w:], out=self._wsum)
         np.subtract(self._wsum, ii[w:, :-w], out=self._wsum)
         np.add(self._wsum, ii[:-w, :-w], out=self._wsum)
@@ -272,6 +276,11 @@ class ReferenceCascadeEvaluator(CascadeEvaluator):
         np.subtract(self._ga, self._tmp, out=self._ga)
         np.maximum(self._ga, 1.0, out=self._ga)
         np.sqrt(self._ga, out=sigma)
+        return sigma
+
+    def evaluate(self, ii: np.ndarray, sqii: np.ndarray) -> CascadeMaps:
+        ay, ax = self._ay, self._ax
+        sigma = self.window_sigma(ii, sqii)
 
         depth = np.zeros((ay, ax), dtype=np.int32)
         margin = np.zeros((ay, ax), dtype=np.float64)
@@ -300,6 +309,54 @@ class ReferenceCascadeEvaluator(CascadeEvaluator):
                 alive, passed = passed, alive
 
         return CascadeMaps(depth_map=depth, margin_map=margin, sigma_map=sigma)
+
+    def evaluate_masked(
+        self,
+        ii: np.ndarray,
+        sqii: np.ndarray,
+        active: np.ndarray,
+        *,
+        sigma: np.ndarray | None = None,
+    ) -> CascadeMaps:
+        """Walk only the ``active`` anchors through the cascade.
+
+        Runs the sparse survivor path from stage 0, seeded with the
+        active set instead of the whole grid: each active anchor reads
+        the same float64 integral values a dense slice would, in the
+        same ``((A - B) - C) + D`` order, so its depth/margin match a
+        full :meth:`evaluate` bit-for-bit.  Inactive anchors stay at
+        depth 0 / margin 0 — that is the fast path's pruning contract.
+        """
+        if sigma is None:
+            sigma = self.window_sigma(ii, sqii)
+        ay, ax = self._ay, self._ax
+        depth = np.zeros((ay, ax), dtype=np.int32)
+        margin = np.zeros((ay, ax), dtype=np.float64)
+        ys, xs = np.nonzero(active)
+        if ys.size:
+            self._ensure_sparse_capacity(ys.size)
+            flat = ii.reshape(-1)
+            sparse: tuple[np.ndarray, np.ndarray] | None = (ys, xs)
+            for stage_idx, stage in enumerate(self._plan):
+                sparse = self._sparse_stage(
+                    stage_idx, stage, flat, sigma, depth, margin, sparse
+                )
+                if sparse is None:
+                    break
+        return CascadeMaps(depth_map=depth, margin_map=margin, sigma_map=sigma)
+
+    def _ensure_sparse_capacity(self, n: int) -> None:
+        """Grow the sparse scratch: masked evaluation may seed more
+        survivors than the dense->sparse switch point ever would."""
+        if self._s_base.shape[0] >= n:
+            return
+        self._s_base = np.empty(n, dtype=np.int64)
+        self._s_t1 = np.empty(n, dtype=np.float64)
+        self._s_vals = np.empty(n, dtype=np.float64)
+        self._s_ts = np.empty(n, dtype=np.float64)
+        self._s_wv = np.empty(n, dtype=np.float64)
+        self._s_sums = np.empty(n, dtype=np.float64)
+        self._s_mask = np.empty(n, dtype=bool)
 
     def _dense_stage(self, stage, ii, sigma, depth, margin, alive, passed) -> None:
         ay, ax = self._ay, self._ax

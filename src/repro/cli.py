@@ -134,6 +134,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_throughput(args)
     if args.experiment == "serving":
         return _cmd_bench_serving(args)
+    if args.experiment == "fastpath":
+        return _cmd_bench_fastpath(args)
+    if args.experiment == "check":
+        return _cmd_bench_check(args)
     profile = active_profile()
     drivers = {
         "table1": lambda: _fmt("table1", profile),
@@ -146,8 +150,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     }
     if args.experiment not in drivers:
         print(
-            f"unknown experiment {args.experiment!r}; "
-            f"choose from {sorted(drivers) + ['serving', 'throughput']}"
+            f"unknown experiment {args.experiment!r}; choose from "
+            f"{sorted(drivers) + ['check', 'fastpath', 'serving', 'throughput']}"
         )
         return 2
     print(drivers[args.experiment]())
@@ -167,11 +171,56 @@ def _cmd_bench_throughput(args: argparse.Namespace) -> int:
         cascade=args.cascade,
         backend=args.backend,
         mode=args.mode,
+        fastpath=args.fastpath,
     )
     print(result.format_table())
     path = result.write_json(args.output)
     print(f"benchmark artifact -> {path}")
     return 0
+
+
+def _cmd_bench_fastpath(args: argparse.Namespace) -> int:
+    from repro.experiments.fastpath import run_fastpath
+
+    # the shared bench flags default to the throughput workload; untouched
+    # values fall back to the fast-path defaults (320x240 trailer frames)
+    width = 320 if args.width == 480 else args.width
+    height = 240 if args.height == 270 else args.height
+    frames = 24 if args.frames == 10 else args.frames
+    cascade = "quick" if args.cascade == "paper" else args.cascade
+    backend = args.backend if args.backend is not None else "vectorized"
+    result = run_fastpath(
+        trailer=args.trailer,
+        frames=frames,
+        width=width,
+        height=height,
+        hold=args.hold,
+        trials=args.trials,
+        warmup=args.warmup,
+        cascade=cascade,
+        backend=backend,
+        tile=args.tile,
+        min_sigma=args.min_sigma,
+    )
+    print(result.format_table())
+    output = args.output
+    if output == "BENCH_throughput.json":
+        output = "BENCH_fastpath.json"
+    path = result.write_json(output)
+    print(f"benchmark artifact -> {path}")
+    return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    from repro.experiments.benchcheck import run_bench_check
+
+    result = run_bench_check(
+        args.files or None,
+        baselines_dir=args.baselines,
+        tolerance=args.tolerance,
+    )
+    print(result.format_report())
+    return 0 if result.ok else 1
 
 
 def _cmd_bench_serving(args: argparse.Namespace) -> int:
@@ -216,6 +265,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         sharding=args.mode,
         max_batch=args.max_batch,
         max_delay_s=args.max_delay_ms / 1e3,
+        fastpath=args.fastpath,
         admission=AdmissionConfig(
             max_queue=args.max_queue,
             max_concurrency=args.max_concurrency,
@@ -322,6 +372,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         seed=args.seed,
         backend=args.backend,
         mode=args.mode,
+        fastpath=args.fastpath,
     )
     trace_path = capture.write_trace(args.output)
     metrics_path = capture.write_metrics(args.metrics_output)
@@ -405,7 +456,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench", help="run one experiment driver")
     p.add_argument(
         "experiment",
-        help="table1|table2|fig5|fig6|fig7|fig8|fig9|throughput|serving",
+        help="table1|table2|fig5|fig6|fig7|fig8|fig9|throughput|serving|"
+        "fastpath|check",
+    )
+    p.add_argument(
+        "files",
+        nargs="*",
+        help="BENCH_*.json artifacts to validate (check; default: glob cwd)",
     )
     p.add_argument("--frames", type=int, default=10, help="frames (throughput)")
     p.add_argument("--workers", type=int, default=4, help="engine workers (throughput)")
@@ -456,6 +513,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=4.0,
         help="micro-batch collection window (serving)",
     )
+    p.add_argument(
+        "--fastpath",
+        choices=("off", "exact", "fast"),
+        default=None,
+        help="two-tier fast-path policy for the timed pipelines "
+        "(default: $REPRO_FASTPATH or off) (throughput)",
+    )
+    p.add_argument(
+        "--trailer", default="50/50", help="synthetic Table II trailer (fastpath)"
+    )
+    p.add_argument(
+        "--hold",
+        type=int,
+        default=2,
+        help="times each rendered frame repeats — display-rate pulldown "
+        "cadence (fastpath)",
+    )
+    p.add_argument(
+        "--tile", type=int, default=16, help="proposal screen tile size (fastpath)"
+    )
+    p.add_argument(
+        "--min-sigma",
+        type=float,
+        default=4.0,
+        help="variance screen threshold (fastpath)",
+    )
+    p.add_argument(
+        "--baselines",
+        default="benchmarks/baselines",
+        help="baseline directory for metric comparisons (check)",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.1,
+        help="relative tolerance applied to baseline min/max bounds (check)",
+    )
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
@@ -485,6 +579,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="compute backend (reference/vectorized; default: $REPRO_BACKEND "
         "or reference)",
+    )
+    p.add_argument(
+        "--fastpath",
+        choices=("off", "exact", "fast"),
+        default=None,
+        help="two-tier fast-path policy; its fastpath.diff/screen spans "
+        "land on the trace (default: $REPRO_FASTPATH or off)",
     )
     p.add_argument(
         "--output", "-o", default="TRACE_engine.json", help="Chrome trace JSON path"
@@ -528,6 +629,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=5.0,
         help="longest a lone request waits for batch company",
+    )
+    p.add_argument(
+        "--fastpath",
+        choices=("off", "exact", "fast"),
+        default=None,
+        help="two-tier fast-path policy; temporal reuse stays disabled for "
+        "serving — requests must never delta against each other "
+        "(default: $REPRO_FASTPATH or off)",
     )
     p.add_argument(
         "--max-queue", type=int, default=64, help="queued requests before 429s"

@@ -60,6 +60,15 @@ import numpy as np
 
 from repro.backend.base import BilinearPlan, ComputeBackend
 from repro.detect.display import display_launch
+from repro.detect.fastpath import (
+    FastpathConfig,
+    FastpathFrameStats,
+    FastpathPolicy,
+    dirty_window_mask,
+    expand_tile_mask,
+    tile_reduce_any,
+    tile_reduce_max,
+)
 from repro.detect.kernels import (
     CascadeKernelResult,
     CascadeLaunchTemplate,
@@ -255,6 +264,50 @@ class _Geometry:
 
 
 # ---------------------------------------------------------------------------
+# temporal delta-cache state (per workspace, per frame shape)
+
+
+class _FastpathLevelCache:
+    """Previous frame's pixels and cascade result for one pyramid level."""
+
+    __slots__ = ("image", "result")
+
+    def __init__(self) -> None:
+        self.image: np.ndarray | None = None
+        self.result: CascadeKernelResult | None = None
+
+
+class _FastpathState:
+    """One stream's delta cache for one frame shape.
+
+    Owned by exactly one workspace (workspaces are single-worker by
+    contract), so under thread *and* process sharding each worker caches
+    its own subsequence of the stream — reuse fires whenever *that
+    worker's* previous frame matches, which keeps ``exact`` mode
+    byte-identical by construction regardless of how frames shard.
+    """
+
+    def __init__(self, n_levels: int) -> None:
+        self.frame: np.ndarray | None = None
+        self.levels: list[PyramidLevel] | None = None
+        self.caches = [_FastpathLevelCache() for _ in range(n_levels)]
+        # downstream replay state: the grouped detections and the
+        # simulated schedule of the cached frame.  On a whole-frame hit
+        # the launch list is content-identical and scheduler.run is a
+        # deterministic, stateless function of (launches, mode), so
+        # replaying these is byte-identical to recomputing them.
+        self.raw: list | None = None
+        self.schedule = None
+        self.schedule_mode = None
+
+    @property
+    def complete(self) -> bool:
+        return self.frame is not None and all(
+            c.result is not None for c in self.caches
+        )
+
+
+# ---------------------------------------------------------------------------
 # the workspace: one frame at a time, all caches hot
 
 
@@ -271,12 +324,32 @@ class FrameWorkspace:
     byte-identical with tracing on, as the determinism tests assert.
     """
 
-    def __init__(self, pipeline: FaceDetectionPipeline, tracer: Tracer | None = None) -> None:
+    def __init__(
+        self,
+        pipeline: FaceDetectionPipeline,
+        tracer: Tracer | None = None,
+        stream: str | None = "default",
+    ) -> None:
         self._pipeline = pipeline
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._backend = pipeline.backend
         self._n_stages = pipeline.cascade.num_stages
         self._geometries: dict[tuple[int, int], _Geometry] = {}
+        self._fastpath = pipeline.fastpath
+        #: stream identity for the temporal delta cache; ``None`` disables
+        #: temporal reuse (the proposal screen still applies under ``fast``)
+        self._stream = stream
+        self._fp_states: dict[tuple[int, int], _FastpathState] = {}
+
+    @property
+    def fastpath(self) -> FastpathConfig:
+        """The resolved fast-path configuration this workspace applies."""
+        return self._fastpath
+
+    @property
+    def stream(self) -> str | None:
+        """Stream identity for temporal reuse (``None`` = disabled)."""
+        return self._stream
 
     @property
     def pipeline(self) -> FaceDetectionPipeline:
@@ -302,6 +375,9 @@ class FrameWorkspace:
         if geo is None:
             geo = _Geometry(self._pipeline, self._backend, img.shape)
             self._geometries[img.shape] = geo
+
+        if self._fastpath.enabled:
+            return self._process_frame_fastpath(geo, img, mode)
 
         tracer = self._tracer
         levels = self._build_levels(geo, img)
@@ -385,6 +461,273 @@ class FrameWorkspace:
             rejections_by_depth=rejections,
         )
 
+    # -- the two-tier fast path ----------------------------------------------
+
+    def _process_frame_fastpath(
+        self, geo: _Geometry, img: np.ndarray, mode: ExecutionMode
+    ) -> FrameResult:
+        """Proposal pre-pass + temporal delta cache (``exact`` / ``fast``).
+
+        ``exact`` reuses cached cascade results only for *bit-equal*
+        pixels — evaluation is a deterministic function of the level
+        image, so reuse is provably byte-identical — and runs the
+        variance screen observe-only.  ``fast`` additionally prunes
+        flat tiles and carries cached depth/margin forward for anchors
+        whose window footprint saw no changed pixel.
+        """
+        fp = self._fastpath
+        tracer = self._tracer
+        exact = fp.policy is FastpathPolicy.EXACT
+        temporal = self._stream is not None
+        state = self._fp_states.get(img.shape)
+        if state is None:
+            state = _FastpathState(len(geo.levels))
+            self._fp_states[img.shape] = state
+        stats = FastpathFrameStats(policy=fp.policy.value, levels=len(geo.levels))
+
+        frame_hit = False
+        if temporal and state.complete:
+            with tracer.span("fastpath.diff", cat="fastpath"):
+                frame_hit = self._pixels_clean(img, state.frame, fp, exact)
+
+        launches: list[KernelLaunch] = []
+        kernel_results: list[CascadeKernelResult] = []
+        if frame_hit:
+            # the whole frame matches the cached predecessor: skip the
+            # pyramid, the integrals and every cascade evaluation
+            stats.frames_reused = 1
+            levels = state.levels
+            schedule_hit = (
+                state.schedule is not None and state.schedule_mode == mode
+            )
+            for lv, cache in zip(geo.levels, state.caches):
+                result = cache.result
+                kernel_results.append(result)
+                if not schedule_hit:
+                    launches.extend(lv.pre_launches)
+                    launches.extend(lv.integral_launches)
+                    launches.append(result.launch)
+                n_tiles = self._n_tiles(lv.mapping, fp.tile)
+                stats.levels_reused += 1
+                stats.anchors += result.depth_map.size
+                stats.anchors_carried += result.depth_map.size
+                stats.tiles += n_tiles
+                stats.tiles_clean += n_tiles
+            if schedule_hit:
+                # grouping is deterministic in (levels, kernel_results)
+                # and the launch list a hit would rebuild is content-
+                # identical to the cached frame's, so the stored raw
+                # detections and ScheduleResult are byte-identical
+                # replays — skip grouping and the simulated schedule
+                return FrameResult(
+                    raw_detections=list(state.raw),
+                    schedule=state.schedule,
+                    kernel_results=kernel_results,
+                    levels=levels,
+                    fastpath=stats,
+                )
+        else:
+            levels = self._build_levels(geo, img)
+            for lv, level, cache in zip(geo.levels, levels, state.caches):
+                launches.extend(lv.pre_launches)
+                result = self._fastpath_level(fp, lv, level, cache, temporal, exact, stats)
+                launches.extend(lv.integral_launches)
+                launches.append(result.launch)
+                kernel_results.append(result)
+            if temporal:
+                self._fastpath_update_cache(state, levels, kernel_results)
+
+        with tracer.span("grouping"):
+            raw = collect_raw_detections(
+                levels, kernel_results, self._pipeline.config.pyramid.window
+            )
+        launches.append(
+            display_launch(
+                img.shape[1],
+                img.shape[0],
+                len(raw),
+                stream=geo.display_stream,
+                wait_streams=geo.display_waits,
+            )
+        )
+        with tracer.span("schedule"):
+            schedule = self._pipeline.scheduler.run(launches, mode)
+        if temporal and state.complete:
+            state.raw = list(raw)
+            state.schedule = schedule
+            state.schedule_mode = mode
+        return FrameResult(
+            raw_detections=raw,
+            schedule=schedule,
+            kernel_results=kernel_results,
+            levels=levels,
+            fastpath=stats,
+        )
+
+    @staticmethod
+    def _pixels_clean(
+        current: np.ndarray, cached: np.ndarray, fp: FastpathConfig, exact: bool
+    ) -> bool:
+        """Whether ``current`` matches the cache closely enough to reuse."""
+        if exact or fp.diff_eps == 0.0:
+            return bool(np.array_equal(current, cached))
+        return bool(np.all(np.abs(current - cached) <= fp.diff_eps))
+
+    @staticmethod
+    def _n_tiles(mapping: BlockMapping, tile: int) -> int:
+        return (-(-mapping.anchors_y // tile)) * (-(-mapping.anchors_x // tile))
+
+    def _fastpath_level(
+        self,
+        fp: FastpathConfig,
+        lv: _LevelState,
+        level: PyramidLevel,
+        cache: _FastpathLevelCache,
+        temporal: bool,
+        exact: bool,
+        stats: FastpathFrameStats,
+    ) -> CascadeKernelResult:
+        """Diff, screen and evaluate one pyramid level."""
+        tracer = self._tracer
+        mapping = lv.mapping
+        ay, ax = mapping.anchors_y, mapping.anchors_x
+        n_tiles = self._n_tiles(mapping, fp.tile)
+        stats.tiles += n_tiles
+        stats.anchors += ay * ax
+
+        changed: np.ndarray | None = None
+        if temporal and cache.result is not None:
+            with tracer.span("fastpath.diff", cat="fastpath"):
+                if exact:
+                    clean = bool(np.array_equal(level.image, cache.image))
+                else:
+                    changed = np.abs(level.image - cache.image) > fp.diff_eps
+                    clean = not bool(changed.any())
+            if clean:
+                stats.levels_reused += 1
+                stats.anchors_carried += ay * ax
+                stats.tiles_clean += n_tiles
+                return cache.result
+
+        with tracer.span("integral"):
+            ii, sqii = lv.integral_plan.compute(level.image)
+        with tracer.span("cascade"):
+            if exact:
+                result = self._cascade_eval(lv, ii, sqii)
+                self._observe_proposal(fp, lv, result, stats)
+            else:
+                result = self._cascade_eval_fast(fp, lv, ii, sqii, changed, cache, stats)
+        return result
+
+    def _observe_proposal(
+        self,
+        fp: FastpathConfig,
+        lv: _LevelState,
+        result: CascadeKernelResult,
+        stats: FastpathFrameStats,
+    ) -> None:
+        """Run the variance screen observe-only (``exact`` mode).
+
+        The full evaluation already happened, so the true accept set is
+        known and the screen's recall can be *measured* instead of
+        trusted — the number the ``fast`` policy's pruning rides on.
+        """
+        mapping = lv.mapping
+        ay, ax = mapping.anchors_y, mapping.anchors_x
+        with self._tracer.span("fastpath.screen", cat="fastpath"):
+            keep = tile_reduce_max(result.sigma_map, fp.tile) >= fp.min_sigma
+            textured = expand_tile_mask(keep, fp.tile, ay, ax)
+            accepted = result.depth_map == self._n_stages
+        stats.anchors_evaluated += ay * ax
+        stats.tiles_pruned += int(keep.size - np.count_nonzero(keep))
+        stats.proposal_total += int(np.count_nonzero(accepted))
+        stats.proposal_kept += int(np.count_nonzero(np.logical_and(accepted, textured)))
+
+    def _cascade_eval_fast(
+        self,
+        fp: FastpathConfig,
+        lv: _LevelState,
+        ii: np.ndarray,
+        sqii: np.ndarray,
+        changed: np.ndarray | None,
+        cache: _FastpathLevelCache,
+        stats: FastpathFrameStats,
+    ) -> CascadeKernelResult:
+        """The pruning evaluation (``fast`` mode) for one dirty level."""
+        mapping = lv.mapping
+        ay, ax = mapping.anchors_y, mapping.anchors_x
+        total = ay * ax
+        evaluator = lv.evaluator
+        with self._tracer.span("fastpath.screen", cat="fastpath"):
+            sigma = evaluator.window_sigma(ii, sqii)
+            keep_tiles = tile_reduce_max(sigma, fp.tile) >= fp.min_sigma
+            textured = expand_tile_mask(keep_tiles, fp.tile, ay, ax)
+
+        dirty: np.ndarray | None = None
+        if changed is None:
+            active = textured
+        else:
+            with self._tracer.span("fastpath.diff", cat="fastpath"):
+                dirty = dirty_window_mask(changed, mapping.window, ay, ax)
+            active = np.logical_and(dirty, textured)
+            stats.tiles_clean += int(
+                keep_tiles.size - np.count_nonzero(tile_reduce_any(dirty, fp.tile))
+            )
+        active_count = int(np.count_nonzero(active))
+
+        if active_count >= fp.dense_fallback * total:
+            # too much motion/texture for masked gathers to pay for
+            # themselves: full dense refresh, no pruning on this level
+            maps = evaluator.evaluate(ii, sqii)
+            depth, margin, sigma = maps.depth_map, maps.margin_map, maps.sigma_map
+            stats.anchors_evaluated += total
+        else:
+            maps = evaluator.evaluate_masked(ii, sqii, active, sigma=sigma)
+            depth, margin = maps.depth_map, maps.margin_map
+            carried = 0
+            if dirty is not None:
+                clean = np.logical_not(dirty)
+                carried = total - int(np.count_nonzero(dirty))
+                depth = np.where(clean, cache.result.depth_map, depth)
+                margin = np.where(clean, cache.result.margin_map, margin)
+            stats.anchors_evaluated += active_count
+            stats.anchors_carried += carried
+            stats.anchors_pruned += total - active_count - carried
+            stats.tiles_pruned += int(keep_tiles.size - np.count_nonzero(keep_tiles))
+        rejections = np.bincount(depth.ravel(), minlength=self._n_stages + 1)
+        return CascadeKernelResult(
+            depth_map=depth,
+            margin_map=margin,
+            sigma_map=sigma,
+            launch=lv.launch_template.build(depth),
+            mapping=mapping,
+            rejections_by_depth=rejections,
+        )
+
+    def _fastpath_update_cache(
+        self,
+        state: _FastpathState,
+        levels: list[PyramidLevel],
+        kernel_results: list[CascadeKernelResult],
+    ) -> None:
+        # level 0 aliases the caller's frame buffer (a shared-memory ring
+        # slot under process sharding) — copy it; deeper levels are
+        # freshly allocated by the bilinear plans, so references are safe
+        img_copy = np.array(levels[0].image, copy=True)
+        level0 = PyramidLevel(
+            index=levels[0].index,
+            scale=levels[0].scale,
+            width=levels[0].width,
+            height=levels[0].height,
+            image=img_copy,
+        )
+        cached_levels = [level0, *levels[1:]]
+        for cache, level, result in zip(state.caches, cached_levels, kernel_results):
+            cache.image = level.image
+            cache.result = result
+        state.frame = img_copy
+        state.levels = cached_levels
+
 
 # ---------------------------------------------------------------------------
 # the engine: N frames in flight, ordered output, bounded memory
@@ -415,6 +758,21 @@ def _bridge_frame_metrics(metrics: MetricsRegistry, result: FrameResult) -> None
     metrics.counter("sim.device_seconds").inc(result.schedule.makespan_s)
     metrics.counter("sim.branches").inc(result.schedule.total.branches)
     metrics.counter("sim.divergent_branches").inc(result.schedule.total.divergent_branches)
+    fp = result.fastpath
+    if fp is not None:
+        metrics.counter("fastpath.frames").inc()
+        metrics.counter("fastpath.frames_reused").inc(fp.frames_reused)
+        metrics.counter("fastpath.levels").inc(fp.levels)
+        metrics.counter("fastpath.levels_reused").inc(fp.levels_reused)
+        metrics.counter("fastpath.tiles").inc(fp.tiles)
+        metrics.counter("fastpath.tiles_clean").inc(fp.tiles_clean)
+        metrics.counter("fastpath.tiles_pruned").inc(fp.tiles_pruned)
+        metrics.counter("fastpath.anchors").inc(fp.anchors)
+        metrics.counter("fastpath.anchors_evaluated").inc(fp.anchors_evaluated)
+        metrics.counter("fastpath.anchors_carried").inc(fp.anchors_carried)
+        metrics.counter("fastpath.anchors_pruned").inc(fp.anchors_pruned)
+        metrics.counter("fastpath.proposal_kept").inc(fp.proposal_kept)
+        metrics.counter("fastpath.proposal_total").inc(fp.proposal_total)
 
 
 @dataclass
@@ -501,6 +859,7 @@ class DetectionEngine:
         start_method: str | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        fastpath_stream: str | None = "default",
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
@@ -523,6 +882,10 @@ class DetectionEngine:
                 f"{multiprocessing.get_all_start_methods()}"
             )
         self._start_method = start_method
+        #: stream identity handed to every worker workspace; ``None``
+        #: disables temporal reuse (what the serving layer passes, since
+        #: its frames come from many unrelated clients)
+        self._fastpath_stream = fastpath_stream
         self._tracer = tracer if tracer is not None else pipeline.tracer
         self._metrics = metrics
         self._free: list[FrameWorkspace] = []
@@ -616,6 +979,7 @@ class DetectionEngine:
                 pipeline=self._pipeline.spec(),
                 tracing=self._tracer.enabled,
                 trace_origin=self._tracer.origin,
+                stream=self._fastpath_stream,
             )
             self._pool = ProcessPoolExecutor(
                 max_workers=self._workers,
@@ -641,7 +1005,9 @@ class DetectionEngine:
         with self._lock:
             if self._free:
                 return self._free.pop()
-        return self._pipeline.make_workspace(tracer=self._tracer)
+        return self._pipeline.make_workspace(
+            tracer=self._tracer, stream=self._fastpath_stream
+        )
 
     def _release(self, workspace: FrameWorkspace) -> None:
         with self._lock:

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.backend import ComputeBackend, get_backend
 from repro.detect.display import display_launch
+from repro.detect.fastpath import FastpathConfig, FastpathFrameStats, resolve_fastpath
 from repro.detect.grouping import RawDetection
 from repro.detect.kernels import CascadeKernelResult, cascade_eval_kernel
 from repro.detect.windows import BlockMapping
@@ -56,6 +57,10 @@ class PipelineConfig:
     #: compute-backend registry name; ``None`` -> ``REPRO_BACKEND`` env var
     #: or the ``reference`` default (see :mod:`repro.backend.registry`)
     backend: str | None = None
+    #: two-tier fast path: a :class:`~repro.detect.fastpath.FastpathConfig`,
+    #: a policy name (``off`` | ``exact`` | ``fast``), or ``None`` ->
+    #: ``REPRO_FASTPATH`` env var or ``off``
+    fastpath: FastpathConfig | str | None = None
 
     def __post_init__(self) -> None:
         if self.block_w <= 0 or self.block_h <= 0:
@@ -95,6 +100,9 @@ class FrameResult:
     schedule: ScheduleResult
     kernel_results: list[CascadeKernelResult]
     levels: list[PyramidLevel]
+    #: what the two-tier fast path did (``None`` when the policy is off
+    #: or the frame went through the one-shot baseline pipeline)
+    fastpath: FastpathFrameStats | None = None
 
     @property
     def detection_time_s(self) -> float:
@@ -162,6 +170,8 @@ class FaceDetectionPipeline:
         self._tracer = tracer if tracer is not None else NULL_TRACER
         # resolve eagerly so an unknown backend name fails at construction
         self._backend = get_backend(self._config.backend)
+        # same for the fast-path policy (explicit > REPRO_FASTPATH > off)
+        self._fastpath = resolve_fastpath(self._config.fastpath)
         self._scheduler = DeviceScheduler(device)
         # Upload the packed cascade to constant memory: this both enforces
         # the 64 KiB budget (Section III-C) and makes the kernel evaluate
@@ -193,6 +203,16 @@ class FaceDetectionPipeline:
         return self._config
 
     @property
+    def fastpath(self) -> FastpathConfig:
+        """The resolved fast-path configuration (``off`` when disabled).
+
+        Applied by :class:`~repro.detect.engine.FrameWorkspace`;
+        :meth:`process_frame` (the one-shot path) always runs the
+        baseline pipeline and stays the byte-identity oracle.
+        """
+        return self._fastpath
+
+    @property
     def constant_memory(self) -> ConstantMemory:
         return self._constant
 
@@ -221,18 +241,27 @@ class FaceDetectionPipeline:
             cascade=self._source_cascade, device=self._device, config=self._config
         )
 
-    def make_workspace(self, tracer: Tracer | None = None):
+    def make_workspace(self, tracer: Tracer | None = None, stream: str | None = "default"):
         """A reusable per-worker :class:`~repro.detect.engine.FrameWorkspace`.
 
         The workspace caches every expensive frame-independent artefact
         (pyramid resampling plans, block mappings, launch templates with
         precomputed cost cohorts, scratch buffers) across frames, and its
         functional output is float-identical to :meth:`process_frame`.
-        ``tracer`` overrides the pipeline's own span tracer.
+        ``tracer`` overrides the pipeline's own span tracer.  ``stream``
+        names the video stream whose consecutive frames the fast path's
+        temporal delta cache may diff; ``None`` disables temporal reuse
+        (unrelated frames — e.g. serving requests — must never delta
+        against each other) while the stateless proposal screen still
+        applies under the ``fast`` policy.
         """
         from repro.detect.engine import FrameWorkspace
 
-        return FrameWorkspace(self, tracer=tracer if tracer is not None else self._tracer)
+        return FrameWorkspace(
+            self,
+            tracer=tracer if tracer is not None else self._tracer,
+            stream=stream,
+        )
 
     def process_frame(self, luma: np.ndarray, mode: ExecutionMode | None = None) -> FrameResult:
         """Run the full Fig. 1 pipeline over one luma frame."""

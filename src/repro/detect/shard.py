@@ -54,6 +54,9 @@ class WorkerSpec:
     tracing: bool = False
     #: parent tracer's ``perf_counter`` origin — the shared timeline zero
     trace_origin: float = 0.0
+    #: fast-path stream identity for the workspace's temporal delta
+    #: cache (``None`` disables temporal reuse in this worker)
+    stream: str | None = "default"
 
 
 @dataclass
@@ -80,7 +83,7 @@ def init_worker(spec: WorkerSpec) -> None:
     """Pool initializer: build the resident workspace for this process."""
     tracer = Tracer(enabled=spec.tracing, origin=spec.trace_origin)
     pipeline = spec.pipeline.build(tracer=tracer)
-    _STATE["workspace"] = pipeline.make_workspace(tracer=tracer)
+    _STATE["workspace"] = pipeline.make_workspace(tracer=tracer, stream=spec.stream)
     _STATE["tracer"] = tracer
     _STATE["crash_index"] = _parse_crash_index()
     _STATE["delays"] = _parse_delays()

@@ -269,6 +269,7 @@ def run_throughput(
     seed: int = 0,
     backend: str | None = None,
     mode: ShardingMode | str = ShardingMode.THREADS,
+    fastpath: str | None = None,
 ) -> ThroughputResult:
     """Measure serial vs thread-sharded vs process-sharded wall-clock fps.
 
@@ -277,7 +278,9 @@ def run_throughput(
     host, exactly as the engine would); all three paths are always
     timed, so the artifact records the full comparison either way.
     ``backend`` names the compute backend every path runs on (``None``
-    defers to ``REPRO_BACKEND`` / the ``reference`` default).
+    defers to ``REPRO_BACKEND`` / the ``reference`` default); ``fastpath``
+    selects the two-tier fast-path policy the same way (``None`` defers
+    to ``REPRO_FASTPATH`` / off).
     """
     if frames <= 0:
         raise ConfigurationError("frames must be positive")
@@ -296,7 +299,8 @@ def run_throughput(
         for packet in synthetic_stream(width, height, frames, faces=faces, seed=seed)
     ]
     pipeline = FaceDetectionPipeline(
-        _CASCADES[cascade](seed=0), config=PipelineConfig(backend=backend)
+        _CASCADES[cascade](seed=0),
+        config=PipelineConfig(backend=backend, fastpath=fastpath),
     )
     thread_engine = DetectionEngine(pipeline, workers=workers, sharding="threads")
     process_engine = DetectionEngine(pipeline, workers=workers, sharding="processes")

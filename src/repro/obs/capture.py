@@ -60,6 +60,7 @@ def run_trace(
     seed: int = 0,
     backend: str | None = None,
     mode: str = "threads",
+    fastpath: str | None = None,
     pipeline=None,
 ) -> TraceCapture:
     """Run ``frames`` synthetic frames through a fully traced engine.
@@ -70,7 +71,10 @@ def run_trace(
     pipeline is built here.  ``mode`` selects the engine sharding
     (``threads`` | ``processes`` | ``auto``) — under process sharding the
     per-worker spans come back pid-tagged, so the Chrome trace shows one
-    lane per worker process on the shared timeline.
+    lane per worker process on the shared timeline.  ``fastpath``
+    selects the two-tier fast-path policy (``off`` | ``exact`` |
+    ``fast``) when the pipeline is built here; its ``fastpath.diff`` /
+    ``fastpath.screen`` spans land on the same trace.
     """
     # local imports: keep repro.obs importable without the detection stack
     from repro import zoo
@@ -91,7 +95,8 @@ def run_trace(
                 f"unknown cascade {cascade!r}; choose from {sorted(cascades)}"
             )
         pipeline = FaceDetectionPipeline(
-            cascades[cascade](seed=0), config=PipelineConfig(backend=backend)
+            cascades[cascade](seed=0),
+            config=PipelineConfig(backend=backend, fastpath=fastpath),
         )
 
     tracer = Tracer()

@@ -69,6 +69,21 @@ def build_snapshot(
     in_flight = snap["gauges"].get("engine.in_flight")
     if in_flight is not None:
         snap["max_queue_depth"] = int(in_flight["max"])
+    fp_anchors = counters.get("fastpath.anchors", 0.0)
+    if fp_anchors > 0:
+        snap["fastpath_evaluated_fraction"] = (
+            counters.get("fastpath.anchors_evaluated", 0.0) / fp_anchors
+        )
+    fp_tiles = counters.get("fastpath.tiles", 0.0)
+    if fp_tiles > 0:
+        snap["fastpath_tile_prune_rate"] = (
+            counters.get("fastpath.tiles_pruned", 0.0) / fp_tiles
+        )
+    fp_accepts = counters.get("fastpath.proposal_total", 0.0)
+    if fp_accepts > 0:
+        snap["fastpath_proposal_recall"] = (
+            counters.get("fastpath.proposal_kept", 0.0) / fp_accepts
+        )
     return snap
 
 
@@ -120,6 +135,13 @@ def render_snapshot(snap: dict) -> str:
         scalars.append(["stage1_rejection_rate", round(snap["stage1_rejection_rate"], 4)])
     if "max_queue_depth" in snap:
         scalars.append(["max_queue_depth", snap["max_queue_depth"]])
+    for key in (
+        "fastpath_evaluated_fraction",
+        "fastpath_tile_prune_rate",
+        "fastpath_proposal_recall",
+    ):
+        if key in snap:
+            scalars.append([key, round(snap[key], 4)])
     if scalars:
         blocks.append(format_table(["metric", "value"], scalars, title="counters / gauges"))
 

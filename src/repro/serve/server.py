@@ -69,6 +69,11 @@ class ServerConfig:
     port: int = 8035
     cascade: str = "quick"
     backend: str | None = None
+    #: fast-path policy (``off`` | ``exact`` | ``fast``); ``None`` ->
+    #: ``REPRO_FASTPATH`` or off.  Serving frames come from unrelated
+    #: clients, so the engine runs with temporal reuse disabled either
+    #: way — only the stateless proposal screen applies under ``fast``.
+    fastpath: str | None = None
     workers: int = 1
     sharding: str = "threads"
     max_batch: int = 4
@@ -89,7 +94,9 @@ class ServerConfig:
         self.admission.validate()
 
 
-def _build_pipeline(cascade: str, backend: str | None, tracer: Tracer):
+def _build_pipeline(
+    cascade: str, backend: str | None, tracer: Tracer, fastpath: str | None = None
+):
     from repro import zoo
     from repro.detect.pipeline import FaceDetectionPipeline, PipelineConfig
 
@@ -104,7 +111,7 @@ def _build_pipeline(cascade: str, backend: str | None, tracer: Tracer):
         )
     return FaceDetectionPipeline(
         cascades[cascade](seed=0),
-        config=PipelineConfig(backend=backend),
+        config=PipelineConfig(backend=backend, fastpath=fastpath),
         tracer=tracer,
     )
 
@@ -168,13 +175,18 @@ class DetectionServer:
         from repro.detect.engine import DetectionEngine
 
         cfg = self._config
-        self._pipeline = _build_pipeline(cfg.cascade, cfg.backend, self._tracer)
+        self._pipeline = _build_pipeline(
+            cfg.cascade, cfg.backend, self._tracer, fastpath=cfg.fastpath
+        )
         self._engine = DetectionEngine(
             self._pipeline,
             workers=cfg.workers,
             sharding=cfg.sharding,
             tracer=self._tracer,
             metrics=self._metrics,
+            # requests from different clients must never delta against
+            # each other: temporal reuse off, proposal screen still on
+            fastpath_stream=None,
         )
         self._infer_pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-infer"
@@ -403,6 +415,9 @@ class DetectionServer:
             "engine": {
                 "workers": self._engine.workers if self._engine else 0,
                 "sharding": self._engine.sharding.value if self._engine else None,
+                "fastpath": (
+                    self._pipeline.fastpath.policy.value if self._pipeline else None
+                ),
             },
         }
         return snap

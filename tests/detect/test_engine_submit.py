@@ -80,8 +80,8 @@ class TestPersistentPools:
         built = []
         real = FaceDetectionPipeline.make_workspace
 
-        def counting(self, tracer=None):
-            workspace = real(self, tracer=tracer)
+        def counting(self, tracer=None, stream="default"):
+            workspace = real(self, tracer=tracer, stream=stream)
             built.append(workspace)
             return workspace
 

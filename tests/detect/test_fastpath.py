@@ -1,0 +1,294 @@
+"""Two-tier fast path: config resolution, differ units, byte identity.
+
+The load-bearing guarantee is the ``exact`` policy: reuse happens only
+on bit-equal pixels, so output must be byte-identical to the baseline
+pipeline on every stream shape — cold caches, repeated frames, scene
+cuts — on both compute backends and under every sharding mode.  The
+``fast`` policy is approximate by design and is tested for its
+*accounting* (carry/prune counters) and for recall on deterministic
+synthetic scenes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.detect.engine import DetectionEngine
+from repro.detect.fastpath import (
+    ENV_VAR,
+    FastpathConfig,
+    FastpathPolicy,
+    dirty_window_mask,
+    expand_tile_mask,
+    resolve_fastpath,
+    tile_reduce_any,
+    tile_reduce_max,
+)
+from repro.detect.pipeline import FaceDetectionPipeline, PipelineConfig
+from repro.errors import ConfigurationError
+from repro.utils.rng import rng_for
+from repro.video.synthesis import render_scene
+from repro.zoo import quick_cascade
+
+
+@pytest.fixture(scope="module")
+def cascade():
+    return quick_cascade(seed=0)
+
+
+@pytest.fixture(scope="module")
+def scenes():
+    """Two distinct deterministic scenes at a small, fast size."""
+    f1, _ = render_scene(128, 96, faces=1, rng=rng_for(3, "fastpath-test", 0))
+    f2, _ = render_scene(128, 96, faces=1, rng=rng_for(3, "fastpath-test", 1))
+    return f1, f2
+
+
+def _detections(result):
+    return [(d.x, d.y, d.size, d.score) for d in result.raw_detections]
+
+
+def _assert_frame_identical(reference, candidate):
+    assert _detections(reference) == _detections(candidate)
+    assert reference.schedule.makespan_s == candidate.schedule.makespan_s
+    for kr, kc in zip(reference.kernel_results, candidate.kernel_results):
+        assert np.array_equal(kr.depth_map, kc.depth_map)
+        assert np.array_equal(kr.margin_map, kc.margin_map)
+
+
+class TestConfigResolution:
+    def test_coerce_accepts_names_and_policies(self):
+        assert FastpathPolicy.coerce("fast") is FastpathPolicy.FAST
+        assert FastpathPolicy.coerce("EXACT") is FastpathPolicy.EXACT
+        assert FastpathPolicy.coerce(FastpathPolicy.OFF) is FastpathPolicy.OFF
+
+    def test_coerce_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError, match="unknown fastpath policy"):
+            FastpathPolicy.coerce("turbo")
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "fast")
+        assert resolve_fastpath("exact").policy is FastpathPolicy.EXACT
+        explicit = FastpathConfig(policy=FastpathPolicy.OFF)
+        assert resolve_fastpath(explicit) is explicit
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "exact")
+        assert resolve_fastpath(None).policy is FastpathPolicy.EXACT
+        monkeypatch.delenv(ENV_VAR)
+        assert resolve_fastpath(None).policy is FastpathPolicy.OFF
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            FastpathConfig(tile=0)
+        with pytest.raises(ConfigurationError):
+            FastpathConfig(diff_eps=-1.0)
+        with pytest.raises(ConfigurationError):
+            FastpathConfig(dense_fallback=0.0)
+
+    def test_pipeline_config_accepts_policy_string(self, cascade, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        pipeline = FaceDetectionPipeline(
+            cascade, config=PipelineConfig(fastpath="fast")
+        )
+        assert pipeline.fastpath.policy is FastpathPolicy.FAST
+        off = FaceDetectionPipeline(cascade)
+        assert off.fastpath.policy is FastpathPolicy.OFF
+
+
+class TestGridHelpers:
+    def test_dirty_window_mask_matches_brute_force(self):
+        rng = np.random.default_rng(11)
+        changed = rng.random((40, 56)) < 0.03
+        window = 24
+        ay, ax = 40 - window + 1, 56 - window + 1
+        mask = dirty_window_mask(changed, window, ay, ax)
+        for y in range(ay):
+            for x in range(ax):
+                expected = bool(changed[y : y + window, x : x + window].any())
+                assert mask[y, x] == expected, (y, x)
+
+    def test_motion_straddling_tile_boundaries_dirties_both_sides(self):
+        # one changed pixel exactly on a 16-anchor tile boundary must
+        # dirty every window whose footprint sees it — including the
+        # windows on the *other* side of the boundary
+        changed = np.zeros((64, 64), dtype=bool)
+        changed[16, 16] = True
+        window = 8
+        ay = ax = 64 - window + 1
+        mask = dirty_window_mask(changed, window, ay, ax)
+        ys, xs = np.nonzero(mask)
+        assert ys.min() == 16 - window + 1 and ys.max() == 16
+        assert xs.min() == 16 - window + 1 and xs.max() == 16
+        # windows straddle the tile edge on both sides of anchor 16
+        tiles = tile_reduce_any(mask, 16)
+        assert tiles[0, 0] and tiles[1, 1] and tiles[0, 1] and tiles[1, 0]
+
+    def test_tile_reduce_and_expand_round_trip(self):
+        values = np.arange(20.0 * 18).reshape(20, 18)
+        tiles = tile_reduce_max(values, 16)
+        assert tiles.shape == (2, 2)
+        assert tiles[0, 0] == values[:16, :16].max()
+        assert tiles[1, 1] == values[16:, 16:].max()
+        keep = tiles >= tiles[1, 1]
+        expanded = expand_tile_mask(keep, 16, 20, 18)
+        assert expanded.shape == (20, 18)
+        assert expanded[19, 17] and not expanded[0, 0]
+
+
+class TestTemporalCache:
+    def test_first_frame_is_fully_dirty(self, cascade, scenes):
+        ws = FaceDetectionPipeline(
+            cascade, config=PipelineConfig(fastpath="exact")
+        ).make_workspace()
+        stats = ws.process_frame(scenes[0]).fastpath
+        assert stats.frames_reused == 0
+        assert stats.levels_reused == 0
+        assert stats.anchors_carried == 0
+        assert stats.anchors_evaluated == stats.anchors > 0
+
+    def test_repeated_frame_reuses_everything(self, cascade, scenes):
+        ws = FaceDetectionPipeline(
+            cascade, config=PipelineConfig(fastpath="exact")
+        ).make_workspace()
+        first = ws.process_frame(scenes[0])
+        second = ws.process_frame(scenes[0])
+        stats = second.fastpath
+        assert stats.frames_reused == 1
+        assert stats.anchors_evaluated == 0
+        assert stats.anchors_carried == stats.anchors
+        _assert_frame_identical(first, second)
+
+    def test_scene_cut_invalidates_the_cache(self, cascade, scenes):
+        baseline = FaceDetectionPipeline(
+            cascade, config=PipelineConfig(fastpath="off")
+        )
+        ws = FaceDetectionPipeline(
+            cascade, config=PipelineConfig(fastpath="exact")
+        ).make_workspace()
+        ws.process_frame(scenes[0])
+        cut = ws.process_frame(scenes[1])
+        assert cut.fastpath.frames_reused == 0
+        _assert_frame_identical(baseline.process_frame(scenes[1]), cut)
+
+    def test_fast_carries_clean_regions_forward(self, cascade, scenes):
+        # a localised edit: only windows whose footprint sees the dirty
+        # rectangle re-evaluate; everything else carries forward
+        ws = FaceDetectionPipeline(
+            cascade, config=PipelineConfig(fastpath="fast")
+        ).make_workspace()
+        ws.process_frame(scenes[0])
+        edited = np.array(scenes[0], copy=True)
+        edited[40:48, 60:68] += 25.0
+        stats = ws.process_frame(edited).fastpath
+        assert stats.anchors_carried > 0
+        assert 0 < stats.anchors_evaluated < stats.anchors
+        assert (
+            stats.anchors_evaluated + stats.anchors_carried + stats.anchors_pruned
+            <= stats.anchors
+        )
+
+    def test_fast_equals_exact_on_a_static_stream(self, cascade, scenes):
+        exact_ws = FaceDetectionPipeline(
+            cascade, config=PipelineConfig(fastpath="exact")
+        ).make_workspace()
+        fast_ws = FaceDetectionPipeline(
+            cascade, config=PipelineConfig(fastpath="fast")
+        ).make_workspace()
+        for frame in (scenes[0], scenes[0], scenes[0]):
+            e = exact_ws.process_frame(frame)
+            f = fast_ws.process_frame(frame)
+            assert _detections(e) == _detections(f)
+
+    def test_stream_none_disables_temporal_reuse(self, cascade, scenes):
+        pipeline = FaceDetectionPipeline(
+            cascade, config=PipelineConfig(fastpath="exact")
+        )
+        ws = pipeline.make_workspace(stream=None)
+        assert ws.stream is None
+        for _ in range(2):
+            stats = ws.process_frame(scenes[0]).fastpath
+            assert stats.frames_reused == 0
+            assert stats.anchors_carried == 0
+
+
+@pytest.mark.parametrize("backend", ["reference", "vectorized"])
+class TestExactByteIdentity:
+    def _frames(self, scenes):
+        f1, f2 = scenes
+        # repeats, a scene cut, and a return to a seen frame: every
+        # cache path (cold, hit, invalidate, re-fill) is on this stream
+        return [f1, f1, f2, f2, f2, f1]
+
+    def test_serial_workspace(self, backend, cascade, scenes):
+        baseline = FaceDetectionPipeline(
+            cascade, config=PipelineConfig(backend=backend, fastpath="off")
+        )
+        ws = FaceDetectionPipeline(
+            cascade, config=PipelineConfig(backend=backend, fastpath="exact")
+        ).make_workspace()
+        for frame in self._frames(scenes):
+            _assert_frame_identical(
+                baseline.process_frame(frame), ws.process_frame(frame)
+            )
+
+    def test_threaded_engine(self, backend, cascade, scenes):
+        baseline = FaceDetectionPipeline(
+            cascade, config=PipelineConfig(backend=backend, fastpath="off")
+        )
+        exact = FaceDetectionPipeline(
+            cascade, config=PipelineConfig(backend=backend, fastpath="exact")
+        )
+        frames = self._frames(scenes)
+        reference = [baseline.process_frame(f) for f in frames]
+        with DetectionEngine(exact, workers=2, sharding="threads") as engine:
+            results = list(engine.process_frames(iter(frames)))
+        for r, c in zip(reference, results):
+            assert _detections(r) == _detections(c)
+
+
+class TestExactByteIdentityProcesses:
+    def test_process_sharded_engine(self, cascade, scenes):
+        """Each spawn worker owns its own delta cache; identity must
+        survive frames of one stream interleaving across workers."""
+        baseline = FaceDetectionPipeline(
+            cascade, config=PipelineConfig(fastpath="off")
+        )
+        exact = FaceDetectionPipeline(
+            cascade, config=PipelineConfig(fastpath="exact")
+        )
+        frames = [scenes[0], scenes[0], scenes[1], scenes[0]]
+        reference = [baseline.process_frame(f) for f in frames]
+        with DetectionEngine(exact, workers=2, sharding="processes") as engine:
+            results = list(engine.process_frames(iter(frames)))
+        for r, c in zip(reference, results):
+            assert _detections(r) == _detections(c)
+
+
+class TestEnginePlumbing:
+    def test_engine_forwards_fastpath_stream(self, cascade, scenes, monkeypatch):
+        pipeline = FaceDetectionPipeline(
+            cascade, config=PipelineConfig(fastpath="exact")
+        )
+        seen = []
+        original = FaceDetectionPipeline.make_workspace
+
+        def recording(self, tracer=None, stream="default"):
+            seen.append(stream)
+            return original(self, tracer=tracer, stream=stream)
+
+        monkeypatch.setattr(FaceDetectionPipeline, "make_workspace", recording)
+        with DetectionEngine(
+            pipeline, workers=0, fastpath_stream=None
+        ) as engine:
+            list(engine.process_frames(iter([scenes[0]])))
+        assert seen == [None]
+
+    def test_results_carry_fastpath_stats_only_when_enabled(self, cascade, scenes):
+        off = FaceDetectionPipeline(
+            cascade, config=PipelineConfig(fastpath="off")
+        ).make_workspace()
+        assert off.process_frame(scenes[0]).fastpath is None
+        on = FaceDetectionPipeline(
+            cascade, config=PipelineConfig(fastpath="fast")
+        ).make_workspace()
+        assert on.process_frame(scenes[0]).fastpath is not None

@@ -35,9 +35,25 @@ def test_triggers(workflow):
 
 def test_jobs_present(workflow):
     assert {
-        "lint", "test", "test-vectorized", "test-processes", "bench",
-        "serve-smoke",
+        "lint", "test", "test-vectorized", "test-processes", "test-fastpath",
+        "bench", "serve-smoke",
     } <= set(workflow["jobs"])
+
+
+def test_concurrency_cancels_superseded_runs(workflow):
+    """Pushes to the same ref must cancel the in-flight run."""
+    group = workflow["concurrency"]
+    assert group["cancel-in-progress"] is True
+    assert "github.ref" in str(group["group"])
+
+
+def test_every_job_has_a_timeout(workflow):
+    """A hung step must fail its job, not hold the runner for hours."""
+    for name, job in workflow["jobs"].items():
+        minutes = job.get("timeout-minutes")
+        assert isinstance(minutes, int) and 0 < minutes <= 60, (
+            f"{name}: missing or unreasonable timeout-minutes"
+        )
 
 
 def test_lint_job_runs_ruff(workflow):
@@ -69,10 +85,66 @@ def test_process_sharding_job(workflow):
     assert "tests/video/test_shm.py" in text
 
 
+def test_fastpath_job(workflow):
+    """The full tier-1 suite must run under the exact fast path (the
+    byte-identity oracle mode), and the fast-path bench smoke must
+    publish + validate its artifact."""
+    job = workflow["jobs"]["test-fastpath"]
+    text = _steps_text(job)
+    assert "REPRO_FASTPATH=exact" in text
+    assert "PYTHONPATH=src python -m pytest -x -q" in text
+    assert "benchmarks/test_fastpath.py" in text
+    assert "REPRO_BENCH_SMOKE=1" in text
+    assert "repro bench check BENCH_fastpath.json" in text
+    uploads = {
+        step["with"]["name"]: step["with"]
+        for step in job["steps"]
+        if "upload-artifact" in str(step.get("uses", ""))
+    }
+    assert uploads["BENCH_fastpath"]["path"] == "BENCH_fastpath.json"
+    assert uploads["BENCH_fastpath"].get("if-no-files-found") == "error"
+
+
+def test_bench_artifacts_are_checked(workflow):
+    """Every job that produces BENCH_*.json must run ``repro bench
+    check`` over what it produced, so a schema or invariant break fails
+    the producing job directly."""
+    bench = _steps_text(workflow["jobs"]["bench"])
+    assert "repro bench check" in bench
+    for artifact in (
+        "BENCH_throughput.json",
+        "BENCH_throughput-vectorized.json",
+        "BENCH_throughput-processes.json",
+    ):
+        assert artifact in bench
+    serve = _steps_text(workflow["jobs"]["serve-smoke"])
+    assert "repro bench check" in serve
+    assert "BENCH_serving.json" in serve
+    assert "BENCH_serving-loadtest.json" in serve
+
+
+def test_serve_smoke_always_drains_the_server(workflow):
+    """The CLI round trip must SIGTERM + wait the server even when the
+    loadtest fails, then fail the step on the loadtest's own status —
+    otherwise a failing loadtest leaks the background server."""
+    job = workflow["jobs"]["serve-smoke"]
+    script = next(
+        str(step.get("run", ""))
+        for step in job["steps"]
+        if "repro loadtest" in str(step.get("run", ""))
+    )
+    assert "|| STATUS=$?" in script
+    assert "kill -TERM" in script
+    assert "wait" in script
+    assert 'exit "$STATUS"' in script
+    # the drain must come after the status capture, never before
+    assert script.index("|| STATUS=$?") < script.index("kill -TERM")
+
+
 def test_pip_caching(workflow):
     for name in (
-        "lint", "test", "test-vectorized", "test-processes", "bench",
-        "serve-smoke",
+        "lint", "test", "test-vectorized", "test-processes", "test-fastpath",
+        "bench", "serve-smoke",
     ):
         setup = next(
             step
