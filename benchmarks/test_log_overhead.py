@@ -1,0 +1,254 @@
+"""Observability overhead bound: the traced-and-logged serving path must
+stay within 5 % wall clock of the silent path.
+
+Extends the PR 2 tracing gate (``test_trace_overhead.py``) to the full
+serving stack: two live :class:`~repro.serve.server.DetectionServer`
+instances on loopback — one silent (tracer off, request logs filtered
+below ``error``), one fully observed (spans on, JSON request logs, flight
+recorder) — driven by identical closed-loop loadtests in alternating
+trials, scoring each path's minimum wall clock.  Alongside the ratio it
+re-checks two invariants that must hold in *every* mode:
+
+* exactly-once request accounting — JSON log lines with
+  ``"event": "request"`` (plus any rate-limit ``suppressed`` carry-overs)
+  match the number of requests sent;
+* identical detections — observability must never change answers.
+
+Writes ``BENCH_log_overhead.json`` for ``repro bench check`` (schema +
+baseline under ``benchmarks/baselines/log_overhead.json``).
+
+``REPRO_BENCH_SMOKE=1`` shrinks the workload and skips the ratio gate
+(shared CI runners have no stable wall clock), as do single-core hosts
+(everything contends on one interpreter, so wall clocks spread far wider
+than the bound); the accounting and identity assertions always run.
+``REPRO_BENCH_OUTPUT`` overrides the artifact path.
+"""
+
+import asyncio
+import io
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve.loadgen import _Connection, build_payloads, run_loadtest
+from repro.serve.server import DetectionServer, ServerConfig
+from repro.utils.provenance import provenance
+
+pytestmark = pytest.mark.bench
+
+#: ``BENCH_log_overhead.json`` schema: 1 is the initial silent-vs-observed
+#: comparison with exactly-once accounting and a detection-identity verdict
+BENCH_LOG_OVERHEAD_SCHEMA_VERSION = 1
+
+_MAX_OVERHEAD = 0.05
+
+
+def _artifact_path() -> Path:
+    return Path(os.environ.get("REPRO_BENCH_OUTPUT", "BENCH_log_overhead.json"))
+
+
+def _config(*, observed: bool, workers: int) -> ServerConfig:
+    return ServerConfig(
+        port=0,
+        cascade="quick",
+        workers=workers,
+        sharding="threads",
+        max_batch=4,
+        max_delay_s=0.002,
+        trace=observed,
+        log_format="json",
+        # the silent path keeps the logger wired but filters request/
+        # lifecycle events (info) out, which is how a quiet production
+        # deployment would run it
+        log_level="info" if observed else "error",
+    )
+
+
+async def _detections_of(port: int, payload: tuple[bytes, str]) -> list:
+    conn = _Connection("127.0.0.1", port)
+    try:
+        body, content_type = payload
+        status, raw = await conn.request("POST", "/v1/detect", body, content_type)
+        assert status == 200
+        decoded = json.loads(raw)
+        return [decoded["detections"], decoded["raw_count"]]
+    finally:
+        conn.close()
+
+
+async def _drive(
+    *, payloads: list, requests: int, concurrency: int, trials: int, workers: int
+) -> dict:
+    silent_stream, observed_stream = io.StringIO(), io.StringIO()
+    silent = DetectionServer(
+        _config(observed=False, workers=workers), log_stream=silent_stream
+    )
+    observed = DetectionServer(
+        _config(observed=True, workers=workers), log_stream=observed_stream
+    )
+    await silent.start()
+    await observed.start()
+    try:
+        # observability must not change answers
+        identical = await _detections_of(
+            silent.port, payloads[0]
+        ) == await _detections_of(observed.port, payloads[0])
+
+        # warm both servers past connection/batcher cold start
+        await run_loadtest(
+            "127.0.0.1", silent.port, requests=concurrency,
+            concurrency=concurrency, payloads=payloads,
+        )
+        await run_loadtest(
+            "127.0.0.1", observed.port, requests=concurrency,
+            concurrency=concurrency, payloads=payloads,
+        )
+
+        silent_walls, observed_walls = [], []
+        silent_result = observed_result = None
+        for _ in range(trials):
+            start = time.perf_counter()
+            silent_result = await run_loadtest(
+                "127.0.0.1", silent.port, requests=requests,
+                concurrency=concurrency, payloads=payloads,
+            )
+            silent_walls.append(time.perf_counter() - start)
+
+            start = time.perf_counter()
+            observed_result = await run_loadtest(
+                "127.0.0.1", observed.port, requests=requests,
+                concurrency=concurrency, payloads=payloads,
+            )
+            observed_walls.append(time.perf_counter() - start)
+
+        emitted, suppressed = observed.log.emitted, observed.log.suppressed
+    finally:
+        await silent.drain()
+        await observed.drain()
+
+    records = [
+        json.loads(line)
+        for line in observed_stream.getvalue().splitlines()
+        if '"event": "request"' in line
+    ]
+    sent = 1 + concurrency + trials * requests  # identity probe + warmup + trials
+    logged = len(records) + sum(r.get("suppressed", 0) for r in records)
+    return {
+        "identical": identical,
+        "silent_walls": silent_walls,
+        "observed_walls": observed_walls,
+        "silent_result": silent_result,
+        "observed_result": observed_result,
+        "sent": sent,
+        "log_lines": len(records),
+        "logged": logged,
+        "emitted": emitted,
+        "suppressed": suppressed,
+    }
+
+
+def test_log_overhead_bounded(report):
+    smoke = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+    requests = 16 if smoke else 64
+    concurrency = 4
+    trials = 2 if smoke else 3
+    workers = min(2, os.cpu_count() or 1)
+
+    payloads = build_payloads(
+        width=96, height=96, frames=4, faces=1, seed=0
+    )
+    out = asyncio.run(
+        _drive(
+            payloads=payloads, requests=requests, concurrency=concurrency,
+            trials=trials, workers=workers,
+        )
+    )
+
+    assert out["identical"], "observability changed the detections"
+
+    # exactly-once accounting: the observed server logged every request
+    # it was sent, with rate-limit suppression explicitly carried
+    exactly_once = out["logged"] == out["sent"]
+    assert exactly_once, (
+        f"observed path logged {out['logged']} requests "
+        f"(of which {out['log_lines']} lines) but {out['sent']} were sent"
+    )
+
+    for name in ("silent_result", "observed_result"):
+        result = out[name]
+        assert result.errors == 0, f"{name} loadtest errored: {result.errors}"
+        assert result.ok == requests, f"{name} loadtest shed under bench load"
+
+    best_silent = min(out["silent_walls"])
+    best_observed = min(out["observed_walls"])
+    overhead = best_observed / best_silent - 1.0
+    report(
+        f"log overhead — {trials}x{requests} requests at concurrency "
+        f"{concurrency}, {workers} workers: silent {best_silent:.3f}s, "
+        f"observed {best_observed:.3f}s ({overhead * 100.0:+.2f}%)"
+    )
+
+    artifact = {
+        "experiment": "log_overhead",
+        "schema_version": BENCH_LOG_OVERHEAD_SCHEMA_VERSION,
+        "provenance": provenance(mode="threads"),
+        "workload": {
+            "frame_width": 96,
+            "frame_height": 96,
+            "payload_frames": 4,
+            "requests": requests,
+            "concurrency": concurrency,
+            "trials": trials,
+            "workers": workers,
+            "max_batch": 4,
+        },
+        "runs": {
+            "silent": {
+                "walls_s": out["silent_walls"],
+                "best_wall_s": best_silent,
+                "rps": out["silent_result"].rps,
+                "ok": out["silent_result"].ok,
+            },
+            "observed": {
+                "walls_s": out["observed_walls"],
+                "best_wall_s": best_observed,
+                "rps": out["observed_result"].rps,
+                "ok": out["observed_result"].ok,
+                "log_lines": out["log_lines"],
+                "emitted": out["emitted"],
+                "suppressed": out["suppressed"],
+            },
+        },
+        "overhead": overhead,
+        "max_overhead": _MAX_OVERHEAD,
+        "accounting": {
+            "requests_sent": out["sent"],
+            "requests_logged": out["logged"],
+            "exactly_once": exactly_once,
+            "identical_detections": out["identical"],
+        },
+    }
+    path = _artifact_path()
+    path.write_text(json.dumps(artifact, indent=2) + "\n")
+
+    payload = json.loads(path.read_text())
+    assert payload["experiment"] == "log_overhead"
+    assert payload["schema_version"] == BENCH_LOG_OVERHEAD_SCHEMA_VERSION
+    assert {
+        "git_sha", "timestamp_utc", "python", "numpy", "platform", "cpu_count"
+    } <= set(payload["provenance"])
+    assert payload["accounting"]["exactly_once"] is True
+    assert payload["accounting"]["identical_detections"] is True
+
+    # like the serving speedup gate, the ratio is only meaningful where
+    # the cores exist: on a single-core host every request contends on
+    # the one interpreter and wall clocks spread 10-20% run to run, so a
+    # 5% bound would gate on scheduler noise rather than instrumentation
+    if not smoke and (os.cpu_count() or 1) >= 2:
+        assert overhead < _MAX_OVERHEAD, (
+            f"tracing + structured logging costs {overhead * 100.0:.1f}% "
+            f"serving wall-clock (bound: {_MAX_OVERHEAD * 100.0:.0f}%)"
+        )

@@ -272,6 +272,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             queue_budget_s=args.queue_budget_ms / 1e3,
         ),
         trace=args.trace,
+        log_format=args.log_format,
+        log_level=args.log_level,
+        flight_capacity=args.flight_capacity,
+        flight_path=args.flight_dump,
     )
     try:
         asyncio.run(run_server(config))
@@ -341,6 +345,14 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             ),
         )
     )
+    slowest = result.slowest(args.slowest)
+    if slowest:
+        # the trace ids name the server-side log lines / flight events /
+        # Chrome-trace spans for the tail — paste one into a grep
+        print(f"slowest {len(slowest)} requests:")
+        for entry in slowest:
+            trace = entry["trace_id"] or "(no trace header)"
+            print(f"  {entry['latency_s'] * 1e3:8.1f} ms  trace_id={trace}")
     artifact = serving_artifact(
         result,
         width=args.width,
@@ -658,6 +670,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record request-lifecycle spans (adds overhead)",
     )
+    p.add_argument(
+        "--log-format",
+        choices=("json", "text"),
+        default="text",
+        help="structured-log format on stderr (level: --log-level or $REPRO_LOG)",
+    )
+    p.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="minimum log level (default: $REPRO_LOG or info)",
+    )
+    p.add_argument(
+        "--flight-capacity",
+        type=int,
+        default=256,
+        help="flight-recorder ring size (last N request/lifecycle events)",
+    )
+    p.add_argument(
+        "--flight-dump",
+        default="FLIGHT_serve.json",
+        help="path for crash/SIGUSR2 flight-recorder dumps",
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -697,6 +732,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=30.0,
         help="seconds to wait for /readyz before failing",
+    )
+    p.add_argument(
+        "--slowest",
+        type=int,
+        default=5,
+        help="print the k slowest requests with their x-repro-trace-id",
     )
     p.add_argument(
         "--output", "-o", default="BENCH_serving.json", help="JSON artifact path"

@@ -1025,6 +1025,7 @@ class DetectionEngine:
         luma: np.ndarray,
         mode: ExecutionMode | None,
         submit_ts: float | None = None,
+        trace: str | None = None,
     ) -> FrameResult:
         metrics = self._metrics
         if metrics is not None and submit_ts is not None:
@@ -1032,8 +1033,13 @@ class DetectionEngine:
         workspace = self._checkout()
         try:
             start = time.perf_counter()
-            with self._tracer.span("frame", cat="engine", frame=index):
+            span_args = (
+                {"frame": index} if trace is None else {"frame": index, "trace": trace}
+            )
+            with self._tracer.span("frame", cat="engine", **span_args):
                 result = self._process_one(workspace, luma, mode)
+            if hasattr(result, "worker"):
+                result.worker = threading.current_thread().name
             if metrics is not None:
                 metrics.histogram("engine.frame_latency_s").observe(time.perf_counter() - start)
                 metrics.counter("engine.frames").inc()
@@ -1130,7 +1136,13 @@ class DetectionEngine:
         with self._lock:
             self._outstanding.discard(future)
 
-    def submit(self, frame, mode: ExecutionMode | None = None) -> "Future[FrameResult]":
+    def submit(
+        self,
+        frame,
+        mode: ExecutionMode | None = None,
+        *,
+        trace: str | None = None,
+    ) -> "Future[FrameResult]":
         """Submit one frame to the persistent worker pool; returns a future.
 
         The long-lived feeding hook for callers that do not have their
@@ -1139,6 +1151,11 @@ class DetectionEngine:
         workspaces per call — both persist until :meth:`close` — and it
         applies **no backpressure**; the caller owns admission control.
         Results carry no ordering guarantee beyond the returned future.
+
+        ``trace`` is the request's trace id: it is attached to the
+        worker-side ``frame`` span (thread *and* process sharding, so
+        the merged Chrome trace carries it) and the returned result's
+        ``worker`` field names the thread or worker pid that ran it.
 
         Under process sharding the frame rides the shared-memory ring
         when a slot is free (falling back to pickle transport when the
@@ -1152,21 +1169,27 @@ class DetectionEngine:
             index = self._submit_count
             self._submit_count += 1
         if self._workers > 0 and self._sharding is ShardingMode.PROCESSES:
-            return self._submit_process(index, luma, mode)
+            return self._submit_process(index, luma, mode, trace)
         submit_ts = time.perf_counter() if self._metrics is not None else None
         if self._workers == 0:
             future: Future = Future()
             try:
-                future.set_result(self._job(index, luma, mode, submit_ts))
+                future.set_result(self._job(index, luma, mode, submit_ts, trace))
             except Exception as exc:  # surfaced through the future, like a pool
                 future.set_exception(exc)
             return future
         return self._track(
-            self._ensure_thread_pool().submit(self._job, index, luma, mode, submit_ts)
+            self._ensure_thread_pool().submit(
+                self._job, index, luma, mode, submit_ts, trace
+            )
         )
 
     def _submit_process(
-        self, index: int, luma: np.ndarray, mode: ExecutionMode | None
+        self,
+        index: int,
+        luma: np.ndarray,
+        mode: ExecutionMode | None,
+        trace: str | None = None,
     ) -> "Future[FrameResult]":
         pool = self._ensure_pool()
         if self._ring is None:
@@ -1188,6 +1211,7 @@ class DetectionEngine:
                 None if ticket is not None else luma,
                 mode,
                 submit_ts,
+                trace,
             )
         except BrokenProcessPool as exc:
             _release(ticket)

@@ -103,6 +103,10 @@ class FrameResult:
     #: what the two-tier fast path did (``None`` when the policy is off
     #: or the frame went through the one-shot baseline pipeline)
     fastpath: FastpathFrameStats | None = None
+    #: which engine worker produced this frame (thread name or
+    #: ``"pid <n>"``) — set by the engine for request attribution in the
+    #: serving layer's logs; ``None`` outside the engine
+    worker: str | None = None
 
     @property
     def detection_time_s(self) -> float:

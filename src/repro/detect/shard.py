@@ -131,12 +131,16 @@ def process_shard(
     inline_luma: np.ndarray | None,
     mode: ExecutionMode | None,
     submit_ts: float,
+    trace: str | None = None,
 ) -> ShardReply:
     """Process one frame inside a pool worker.
 
     ``ticket`` points at the frame's pixels in the shared ring (the fast
     path); ``inline_luma`` is the pickle fallback for frames that did
-    not fit a slot.  Exactly one of the two is set.
+    not fit a slot.  Exactly one of the two is set.  ``trace`` is the
+    request's trace id under serving — it lands on the worker's
+    ``frame`` span (and therefore in the merged Chrome trace) and on the
+    reply's result for request attribution in the server's log.
     """
     workspace = _STATE.get("workspace")
     if workspace is None:
@@ -152,8 +156,10 @@ def process_shard(
         time.sleep(delay)
     luma = attach_view(ticket) if ticket is not None else inline_luma
     tracer: Tracer = _STATE["tracer"]
-    with tracer.span("frame", cat="engine", frame=index):
+    span_args = {"frame": index} if trace is None else {"frame": index, "trace": trace}
+    with tracer.span("frame", cat="engine", **span_args):
         result = workspace.process_frame(luma, mode)
+    result.worker = f"pid {os.getpid()}"
     latency = time.perf_counter() - start
     spans = None
     if tracer.enabled:

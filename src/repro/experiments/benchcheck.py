@@ -1,7 +1,8 @@
 """Validate ``BENCH_*.json`` artifacts: the ``repro bench check`` backend.
 
 Every benchmark artifact the suite publishes (``BENCH_throughput.json``,
-``BENCH_serving.json``, ``BENCH_fastpath.json``) shares a contract: an
+``BENCH_serving.json``, ``BENCH_fastpath.json``,
+``BENCH_log_overhead.json``) shares a contract: an
 ``experiment`` tag, an integer ``schema_version``, a full provenance
 block, and a per-experiment set of required result keys.  CI runs
 ``repro bench check`` after every bench smoke so a refactor that breaks
@@ -49,6 +50,7 @@ REQUIRED_KEYS = {
         {"workload", "runs", "fps", "latency", "speedup", "identical_responses"}
     ),
     "fastpath": frozenset({"policies", "speedup", "recall", "identical_exact"}),
+    "log_overhead": frozenset({"workload", "runs", "overhead", "accounting"}),
 }
 
 _MISSING = object()

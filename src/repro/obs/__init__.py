@@ -27,7 +27,11 @@ from repro.obs.chrome import (
     validate_chrome_events,
     write_chrome_trace,
 )
+from repro.obs.context import TraceContext
+from repro.obs.flight import FlightRecorder
+from repro.obs.log import NULL_LOGGER, StructuredLogger
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.prom import PROM_CONTENT_TYPE, render_prometheus, sanitize_metric_name
 from repro.obs.report import build_snapshot, render_snapshot, stage_busy_seconds
 from repro.obs.tracer import NULL_TRACER, Span, Tracer
 
@@ -35,10 +39,17 @@ __all__ = [
     "Tracer",
     "Span",
     "NULL_TRACER",
+    "TraceContext",
+    "FlightRecorder",
+    "StructuredLogger",
+    "NULL_LOGGER",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PROM_CONTENT_TYPE",
+    "render_prometheus",
+    "sanitize_metric_name",
     "span_events",
     "kernel_events",
     "engine_trace_events",

@@ -1,0 +1,91 @@
+"""Request-scoped trace context, W3C-traceparent-shaped.
+
+One :class:`TraceContext` is minted per ``POST /v1/detect`` request (or
+adopted from the client's ``traceparent`` header) and rides the request
+through admission, the micro-batcher, and the engine — across the
+thread-pool *and* process-pool hand-offs, since the context is two hex
+strings and pickles for free.  Every span, log line, and flight-recorder
+event the request touches carries ``trace_id``, and the response echoes
+it in an ``x-repro-trace-id`` header, so one id cross-references the
+Chrome trace, the structured log, the flight recorder, and the client.
+
+The wire shape follows the W3C Trace Context ``traceparent`` field
+(``version-traceid-spanid-flags``): a 32-hex-digit trace id and a
+16-hex-digit span id.  Only version ``00`` is emitted; any well-formed
+version is accepted on parse (per the spec, unknown versions degrade to
+00 semantics).  Ids are generated from :func:`os.urandom` — no global
+RNG state is touched, so seeded-determinism tests are unaffected.
+"""
+
+from __future__ import annotations
+
+import os
+import string
+from dataclasses import dataclass
+
+__all__ = ["TraceContext"]
+
+_HEX = set(string.hexdigits.lower())
+_TRACEPARENT_HEADER = "traceparent"
+
+
+def _is_hex(value: str, width: int) -> bool:
+    return len(value) == width and set(value) <= _HEX
+
+
+def _random_hex(n_bytes: int) -> str:
+    value = os.urandom(n_bytes).hex()
+    while int(value, 16) == 0:  # the spec reserves the all-zero id
+        value = os.urandom(n_bytes).hex()
+    return value
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's identity: 32-hex trace id + 16-hex span id."""
+
+    trace_id: str
+    span_id: str
+
+    @classmethod
+    def mint(cls) -> "TraceContext":
+        """A fresh root context with random (non-zero) ids."""
+        return cls(trace_id=_random_hex(16), span_id=_random_hex(8))
+
+    @classmethod
+    def parse(cls, traceparent: str | None) -> "TraceContext | None":
+        """Adopt a ``traceparent`` header value; ``None`` if malformed.
+
+        A malformed header is *not* an error — the server simply mints a
+        fresh context, which is what the W3C spec tells receivers to do.
+        """
+        if not traceparent:
+            return None
+        parts = traceparent.strip().lower().split("-")
+        if len(parts) < 4:
+            return None
+        version, trace_id, span_id = parts[0], parts[1], parts[2]
+        if not _is_hex(version, 2) or version == "ff":
+            return None
+        if not _is_hex(trace_id, 32) or int(trace_id, 16) == 0:
+            return None
+        if not _is_hex(span_id, 16) or int(span_id, 16) == 0:
+            return None
+        return cls(trace_id=trace_id, span_id=span_id)
+
+    @classmethod
+    def from_headers(cls, headers: dict) -> "TraceContext":
+        """The context for one request: adopted from ``traceparent``
+        (the parsed span id becomes this hop's parent) or freshly minted."""
+        parent = cls.parse(headers.get(_TRACEPARENT_HEADER))
+        if parent is None:
+            return cls.mint()
+        return parent.child()
+
+    def child(self) -> "TraceContext":
+        """Same trace, new span id — one hop deeper."""
+        return TraceContext(trace_id=self.trace_id, span_id=_random_hex(8))
+
+    def traceparent(self) -> str:
+        """Render as a W3C ``traceparent`` header value (sampled flag set)."""
+        return f"00-{self.trace_id}-{self.span_id}-01"

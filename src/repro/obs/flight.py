@@ -1,0 +1,103 @@
+"""Flight recorder: a bounded ring of recent serving events.
+
+Postmortems should not require a reproduction.  The
+:class:`FlightRecorder` keeps the last N request events and engine/server
+lifecycle transitions in a lock-protected ring buffer; the server dumps
+it as JSON
+
+* on a worker crash (the event that most needs context),
+* on ``SIGUSR2`` (operator-triggered, no restart),
+* on demand via ``GET /debug/flight``.
+
+Each event carries a monotonically increasing ``seq``, a wall-clock
+``ts``, and whatever fields the caller attached (request events carry
+the trace id, so a dump cross-references the structured log and the
+Chrome trace).  When the ring wraps, ``dropped`` counts what was lost —
+a dump always says whether it is the full history or a suffix.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FlightRecorder"]
+
+DEFAULT_CAPACITY = 256
+
+
+class FlightRecorder:
+    """Thread-safe bounded event ring with JSON dump support."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self._seq = 0
+        self._dropped = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (including wrapped-out ones)."""
+        with self._lock:
+            return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring wrap-around."""
+        with self._lock:
+            return self._dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def record(self, kind: str, **fields) -> int:
+        """Append one event; returns its sequence number."""
+        event = {"kind": kind}
+        event.update(fields)
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            event["seq"] = seq
+            event["ts"] = round(time.time(), 6)
+            if len(self._events) == self._capacity:
+                self._dropped += 1
+            self._events.append(event)
+        return seq
+
+    def snapshot(self) -> dict:
+        """One consistent copy of the ring, oldest event first."""
+        with self._lock:
+            events = [dict(event) for event in self._events]
+            return {
+                "capacity": self._capacity,
+                "recorded": self._seq,
+                "dropped": self._dropped,
+                "events": events,
+            }
+
+    def dump(self, path: str, *, reason: str | None = None) -> dict:
+        """Write the snapshot (plus the dump reason) to ``path`` as JSON."""
+        snap = self.snapshot()
+        if reason is not None:
+            snap["reason"] = reason
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(snap, fh, indent=2, default=str)
+            fh.write("\n")
+        return snap
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._dropped = 0

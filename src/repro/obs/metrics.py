@@ -28,11 +28,15 @@ Thread-safety contract (the serving layer reads a snapshot on every
 from __future__ import annotations
 
 import math
+import random
 import threading
 
 from repro.errors import ConfigurationError
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: default per-histogram sample cap (see :class:`Histogram`)
+DEFAULT_MAX_SAMPLES = 4096
 
 
 class Counter:
@@ -101,34 +105,77 @@ class Gauge:
 
 
 class Histogram:
-    """Stores every observation; percentiles by the nearest-rank rule.
+    """Bounded-memory sample store; percentiles by the nearest-rank rule.
 
-    The engine observes a few values per frame, so keeping raw samples
-    (rather than fixed buckets) is cheap and makes p50/p95 exact.
+    Below ``max_samples`` observations every sample is kept, so p50/p95
+    are exact — the engine observes a few values per frame, and short
+    runs never reach the cap.  Past the cap the stored samples become a
+    uniform **reservoir** (Vitter's Algorithm R: the k-th observation
+    replaces a random held sample with probability ``cap / k``), so
+    percentiles stay statistically sound over unbounded serve lifetimes
+    while memory stays O(cap).  ``count`` / ``sum`` / ``min`` / ``max``
+    / ``mean`` are tracked exactly regardless — only the quantiles are
+    estimates once sampling kicks in.
+
+    The reservoir RNG is a private seeded :class:`random.Random`, so
+    histogram internals never perturb the globally seeded determinism
+    the reproduction tests rely on.
     """
 
-    __slots__ = ("_values", "_lock")
+    __slots__ = ("_values", "_lock", "_cap", "_count", "_sum", "_min", "_max", "_rng")
 
-    def __init__(self) -> None:
+    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
+        if max_samples < 1:
+            raise ConfigurationError(f"max_samples must be >= 1, got {max_samples}")
         self._values: list[float] = []
         self._lock = threading.Lock()
+        self._cap = max_samples
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._rng = random.Random(0x5EED)
+
+    @property
+    def max_samples(self) -> int:
+        return self._cap
+
+    @property
+    def samples_held(self) -> int:
+        """Samples currently stored (always ``<= max_samples``)."""
+        with self._lock:
+            return len(self._values)
 
     def observe(self, value: float) -> None:
         with self._lock:
-            self._values.append(value)
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if len(self._values) < self._cap:
+                self._values.append(value)
+            else:
+                slot = self._rng.randrange(self._count)
+                if slot < self._cap:
+                    self._values[slot] = value
 
     @property
     def count(self) -> int:
         with self._lock:
-            return len(self._values)
+            return self._count
 
     @property
     def sum(self) -> float:
         with self._lock:
-            return sum(self._values)
+            return self._sum
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile (``p`` in [0, 100]); 0.0 when empty."""
+        """Nearest-rank percentile (``p`` in [0, 100]); 0.0 when empty.
+
+        Exact below the sample cap, reservoir-estimated above it.
+        """
         if not 0.0 <= p <= 100.0:
             raise ConfigurationError(f"percentile must be in [0, 100], got {p!r}")
         with self._lock:
@@ -141,30 +188,39 @@ class Histogram:
     def summary(self, reset: bool = False) -> dict:
         """count / sum / min / mean / p50 / p95 / max as a plain dict.
 
-        ``reset`` atomically clears the samples after capturing them, so
-        a draining reader reports every observation exactly once.
+        count/sum/min/mean/max are exact; p50/p95 come from the (possibly
+        sampled) reservoir.  ``reset`` atomically clears everything after
+        capturing, so a draining reader reports every observation exactly
+        once.
         """
         with self._lock:
             values = sorted(self._values)
+            count = self._count
+            total = self._sum
+            lo = self._min
+            hi = self._max
             if reset:
                 self._values.clear()
-        if not values:
+                self._count = 0
+                self._sum = 0.0
+                self._min = math.inf
+                self._max = -math.inf
+        if count == 0:
             return {"count": 0, "sum": 0.0, "min": 0.0, "mean": 0.0,
                     "p50": 0.0, "p95": 0.0, "max": 0.0}
         n = len(values)
-        total = sum(values)
 
         def rank(p: float) -> float:
             return values[max(1, math.ceil(p / 100.0 * n)) - 1]
 
         return {
-            "count": n,
+            "count": count,
             "sum": total,
-            "min": values[0],
-            "mean": total / n,
+            "min": lo,
+            "mean": total / count,
             "p50": rank(50.0),
             "p95": rank(95.0),
-            "max": values[-1],
+            "max": hi,
         }
 
 

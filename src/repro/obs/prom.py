@@ -1,0 +1,98 @@
+"""Prometheus 0.0.4 text exposition rendered from the metrics registry.
+
+``/metrics`` serves the same :class:`~repro.obs.metrics.MetricsRegistry`
+snapshot in two formats: the original JSON (the default, what the tests
+and ``/stats`` build on) and the Prometheus text exposition format
+version 0.0.4 — ``?format=prom`` or an ``Accept: text/plain`` header
+selects it.  Both render from **one** snapshot call, so the two views
+can never disagree on a counter value within one scrape.
+
+Mapping:
+
+* ``Counter``  -> a Prometheus ``counter``;
+* ``Gauge``    -> a ``gauge`` plus a second ``<name>_max`` gauge for the
+  registry's running maximum;
+* ``Histogram``-> a ``summary`` with fixed ``quantile="0.5"`` /
+  ``quantile="0.95"`` series plus the standard ``_sum`` / ``_count``,
+  and ``<name>_min`` / ``<name>_max`` gauges (information the JSON view
+  already exposes).
+
+Names are sanitised **deterministically**: every character outside
+``[a-zA-Z0-9_:]`` becomes ``_``, and everything is prefixed ``repro_``
+(which also guarantees a legal leading character).  The mapping is
+injective for this registry's dot-separated names as long as no two raw
+names differ only in punctuation; :func:`render_prometheus` asserts that
+at render time rather than silently merging two series.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PROM_CONTENT_TYPE", "sanitize_metric_name", "render_prometheus"]
+
+#: the content type Prometheus scrapers expect for text format 0.0.4
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+_PREFIX = "repro_"
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Deterministic registry-name -> Prometheus-name mapping."""
+    return _PREFIX + _INVALID.sub("_", name)
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value; floats keep their shortest round-trip repr."""
+    if isinstance(value, bool):  # pragma: no cover - registries never store bools
+        return "1" if value else "0"
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render one registry snapshot as Prometheus 0.0.4 text.
+
+    ``snapshot`` is the dict :meth:`MetricsRegistry.snapshot` returns;
+    rendering from the already-captured snapshot (not the live registry)
+    keeps the JSON and Prometheus views of one scrape consistent.
+    """
+    lines: list[str] = []
+    seen: dict[str, str] = {}
+
+    def family(raw: str) -> str:
+        name = sanitize_metric_name(raw)
+        clash = seen.get(name)
+        if clash is not None and clash != raw:
+            raise ConfigurationError(
+                f"metric names {clash!r} and {raw!r} both sanitise to {name!r}"
+            )
+        seen[name] = raw
+        return name
+
+    for raw, value in snapshot.get("counters", {}).items():
+        name = family(raw)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_fmt(value)}")
+    for raw, pair in snapshot.get("gauges", {}).items():
+        name = family(raw)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt(pair['value'])}")
+        lines.append(f"# TYPE {name}_max gauge")
+        lines.append(f"{name}_max {_fmt(pair['max'])}")
+    for raw, summary in snapshot.get("histograms", {}).items():
+        name = family(raw)
+        lines.append(f"# TYPE {name} summary")
+        lines.append(f'{name}{{quantile="0.5"}} {_fmt(summary["p50"])}')
+        lines.append(f'{name}{{quantile="0.95"}} {_fmt(summary["p95"])}')
+        lines.append(f"{name}_sum {_fmt(summary['sum'])}")
+        lines.append(f"{name}_count {_fmt(summary['count'])}")
+        lines.append(f"# TYPE {name}_min gauge")
+        lines.append(f"{name}_min {_fmt(summary['min'])}")
+        lines.append(f"# TYPE {name}_max gauge")
+        lines.append(f"{name}_max {_fmt(summary['max'])}")
+    return "\n".join(lines) + "\n" if lines else "\n"

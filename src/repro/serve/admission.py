@@ -71,6 +71,9 @@ class AdmissionTicket:
     deadline_pc: float
     budget_s: float
     retry_after_s: float
+    #: the admitting request's trace id (rides through the batcher so
+    #: per-request queue-wait spans carry it); ``None`` outside serving
+    trace: str | None = None
 
     def expired(self, now_pc: float | None = None) -> bool:
         return (time.perf_counter() if now_pc is None else now_pc) > self.deadline_pc
@@ -112,12 +115,15 @@ class AdmissionController:
         with self._lock:
             return self._inflight
 
-    def try_admit(self, queue_depth: int) -> AdmissionTicket:
+    def try_admit(
+        self, queue_depth: int, *, trace: str | None = None
+    ) -> AdmissionTicket:
         """Admit one request or raise :class:`RequestSheddedError`.
 
         ``queue_depth`` is the micro-batcher's queue length at the
         instant of the call; comparing it against ``max_queue`` here
-        keeps one policy point for both bounds.
+        keeps one policy point for both bounds.  ``trace`` stamps the
+        ticket with the request's trace id.
         """
         cfg = self._config
         with self._lock:
@@ -140,6 +146,7 @@ class AdmissionController:
             deadline_pc=now + cfg.queue_budget_s,
             budget_s=cfg.queue_budget_s,
             retry_after_s=cfg.retry_after_s,
+            trace=trace,
         )
 
     def release(self) -> None:

@@ -36,20 +36,73 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Span, Tracer
 from repro.serve.admission import AdmissionTicket
 
-__all__ = ["MicroBatcher"]
+__all__ = ["MicroBatcher", "RequestTelemetry"]
 
 _STOP = object()
 
 
+class RequestTelemetry:
+    """Per-request timing breakdown, filled in as the request moves.
+
+    The server allocates one per ``/v1/detect`` request and hands it to
+    :meth:`MicroBatcher.submit`; the batcher fills the queue-wait /
+    batch-form / infer legs and the worker attribution, the server adds
+    the serialize leg, and the completed breakdown lands in the response
+    body (``"timing"``) and on the request's log line.
+    """
+
+    __slots__ = (
+        "trace",
+        "queue_wait_s",
+        "batch_form_s",
+        "infer_s",
+        "serialize_s",
+        "batch_size",
+        "worker",
+    )
+
+    def __init__(self, trace: str | None = None) -> None:
+        self.trace = trace
+        self.queue_wait_s: float | None = None
+        self.batch_form_s: float | None = None
+        self.infer_s: float | None = None
+        self.serialize_s: float | None = None
+        self.batch_size: int | None = None
+        self.worker: str | None = None
+
+    def timing(self) -> dict:
+        """The response-body ``timing`` block (unfilled legs are null)."""
+        return {
+            "queue_wait_s": self.queue_wait_s,
+            "batch_form_s": self.batch_form_s,
+            "infer_s": self.infer_s,
+            "serialize_s": self.serialize_s,
+            "batch_size": self.batch_size,
+        }
+
+
 class _Pending:
-    """One queued request: its frame, its ticket, and its future answer."""
+    """One queued request: frame, ticket, telemetry, and its future answer."""
 
-    __slots__ = ("luma", "ticket", "future")
+    __slots__ = ("luma", "ticket", "telemetry", "future")
 
-    def __init__(self, luma, ticket: AdmissionTicket, future: asyncio.Future) -> None:
+    def __init__(
+        self,
+        luma,
+        ticket: AdmissionTicket,
+        future: asyncio.Future,
+        telemetry: RequestTelemetry | None = None,
+    ) -> None:
         self.luma = luma
         self.ticket = ticket
+        self.telemetry = telemetry
         self.future = future
+
+    @property
+    def trace(self) -> str | None:
+        if self.telemetry is not None and self.telemetry.trace is not None:
+            return self.telemetry.trace
+        return self.ticket.trace
 
 
 class MicroBatcher:
@@ -58,10 +111,14 @@ class MicroBatcher:
     Parameters
     ----------
     infer:
-        ``infer(lumas) -> list[FrameResult]`` run in ``executor`` —
-        normally one ``run_in_executor`` hop dispatching a whole batch
-        through :meth:`DetectionEngine.process_frames`, so the
-        executor round-trip cost is paid per *batch*, not per request.
+        ``infer(lumas, traces) -> list[FrameResult]`` run in
+        ``executor`` — normally one ``run_in_executor`` hop dispatching
+        a whole batch through the engine, so the executor round-trip
+        cost is paid per *batch*, not per request.  ``traces`` is the
+        per-frame trace-id list (``None`` entries for untraced
+        requests), which the server forwards to
+        :meth:`DetectionEngine.submit` so worker-side spans carry the
+        request identity.
     max_batch:
         Largest batch handed to ``infer`` (``1`` disables coalescing —
         the unbatched baseline the serving benchmark compares against).
@@ -112,12 +169,22 @@ class MicroBatcher:
                 self._run(), name="repro-batcher"
             )
 
-    async def submit(self, luma, ticket: AdmissionTicket):
-        """Queue one admitted frame; resolves to its ``FrameResult``."""
+    async def submit(
+        self,
+        luma,
+        ticket: AdmissionTicket,
+        telemetry: RequestTelemetry | None = None,
+    ):
+        """Queue one admitted frame; resolves to its ``FrameResult``.
+
+        ``telemetry`` (optional) receives the request's queue-wait /
+        batch-form / infer timings and worker attribution as the batch
+        moves through dispatch.
+        """
         if self._closed:
             raise ConfigurationError("submit() on a closed MicroBatcher")
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._queue.put_nowait(_Pending(luma, ticket, future))
+        self._queue.put_nowait(_Pending(luma, ticket, future, telemetry))
         return await future
 
     async def aclose(self) -> None:
@@ -195,9 +262,10 @@ class MicroBatcher:
         self._record_queue_wait(batch, dispatch_pc)
         try:
             lumas = [item.luma for item in batch]
+            traces = [item.trace for item in batch]
             with self._tracer.span("infer", cat="serve", batch=len(batch)):
                 results = await loop.run_in_executor(
-                    self._executor, self._infer, lumas
+                    self._executor, self._infer, lumas, traces
                 )
             if len(results) != len(batch):
                 raise ConfigurationError(
@@ -209,17 +277,23 @@ class MicroBatcher:
                 if not item.future.done():
                     item.future.set_exception(exc)
             return
+        infer_s = time.perf_counter() - dispatch_pc
         if self._metrics is not None:
             self._metrics.counter("serve.batches").inc()
             self._metrics.histogram("serve.batch_size").observe(len(batch))
-            self._metrics.histogram("serve.infer_s").observe(
-                time.perf_counter() - dispatch_pc
-            )
+            self._metrics.histogram("serve.infer_s").observe(infer_s)
         for item, result in zip(batch, results):
+            if item.telemetry is not None:
+                item.telemetry.infer_s = infer_s
+                item.telemetry.batch_size = len(batch)
+                item.telemetry.worker = getattr(result, "worker", None)
             if not item.future.done():
                 item.future.set_result(result)
 
     def _record_queue_wait(self, batch: list, dispatch_pc: float) -> None:
+        for item in batch:
+            if item.telemetry is not None:
+                item.telemetry.queue_wait_s = dispatch_pc - item.ticket.enqueued_pc
         if self._metrics is not None:
             hist = self._metrics.histogram("serve.queue_wait_s")
             for item in batch:
@@ -237,7 +311,7 @@ class MicroBatcher:
                         dur_us=(dispatch_pc - item.ticket.enqueued_pc) * 1e6,
                         thread_id=thread.ident or 0,
                         thread_name=thread.name,
-                        args={},
+                        args={} if item.trace is None else {"trace": item.trace},
                     )
                     for item in batch
                 ]
@@ -245,6 +319,9 @@ class MicroBatcher:
 
     def _record_form(self, batch: list, form_start: float) -> None:
         end = time.perf_counter()
+        for item in batch:
+            if item.telemetry is not None:
+                item.telemetry.batch_form_s = end - form_start
         if self._metrics is not None:
             self._metrics.histogram("serve.batch_form_s").observe(end - form_start)
             self._metrics.gauge("serve.queue_depth").set(self._queue.qsize())

@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, ServeError
+from repro.serve.protocol import TRACE_ID_HEADER
 from repro.video.pnm import encode_pgm
 
 __all__ = ["LoadTestResult", "build_payloads", "run_loadtest"]
@@ -44,6 +45,10 @@ class LoadTestResult:
     status_counts: dict[str, int]
     latencies_s: list[float] = field(repr=False)
     errors: int = 0
+    #: per-OK-request trace ids, parallel to ``latencies_s`` (the
+    #: server's ``x-repro-trace-id`` response header; ``None`` when the
+    #: server predates tracing)
+    trace_ids: list[str | None] = field(default_factory=list, repr=False)
 
     @property
     def ok(self) -> int:
@@ -78,6 +83,23 @@ class LoadTestResult:
             "max_s": lat[-1],
         }
 
+    def slowest(self, k: int = 5) -> list[dict]:
+        """The ``k`` slowest OK requests with their trace ids.
+
+        The whole point of the trace header: a bad tail latency here
+        names the exact server-side log line, flight-ring entry, and
+        Chrome-trace spans to look at.
+        """
+        traces = list(self.trace_ids)
+        traces += [None] * (len(self.latencies_s) - len(traces))
+        paired = sorted(
+            zip(self.latencies_s, traces), key=lambda pair: pair[0], reverse=True
+        )
+        return [
+            {"latency_s": latency_s, "trace_id": trace_id}
+            for latency_s, trace_id in paired[:k]
+        ]
+
     def to_dict(self) -> dict:
         return {
             "mode": self.mode,
@@ -90,6 +112,7 @@ class LoadTestResult:
             "shed": self.shed,
             "errors": self.errors,
             "latency": self.latency_summary(),
+            "slowest": self.slowest(),
         }
 
 
@@ -149,9 +172,17 @@ class _Connection:
         self._port = port
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
+        #: response headers of the most recent completed round trip
+        #: (lower-cased names) — how callers read ``x-repro-trace-id``
+        self.last_headers: dict[str, str] = {}
 
     async def request(
-        self, method: str, path: str, body: bytes = b"", content_type: str = ""
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        content_type: str = "",
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, bytes]:
         """Send one request, reconnecting once on a dropped connection."""
         for attempt in (0, 1):
@@ -160,7 +191,7 @@ class _Connection:
                     self._host, self._port
                 )
             try:
-                return await self._roundtrip(method, path, body, content_type)
+                return await self._roundtrip(method, path, body, content_type, headers)
             except (ConnectionError, asyncio.IncompleteReadError, ServeError):
                 self.close()
                 if attempt:
@@ -168,9 +199,16 @@ class _Connection:
         raise AssertionError("unreachable")
 
     async def _roundtrip(
-        self, method: str, path: str, body: bytes, content_type: str
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        content_type: str,
+        extra_headers: dict[str, str] | None = None,
     ) -> tuple[int, bytes]:
         head = [f"{method} {path} HTTP/1.1", f"Host: {self._host}:{self._port}"]
+        for name, value in (extra_headers or {}).items():
+            head.append(f"{name}: {value}")
         if body:
             head.append(f"Content-Type: {content_type}")
             head.append(f"Content-Length: {len(body)}")
@@ -197,6 +235,7 @@ class _Connection:
         if length > _CLIENT_MAX_BODY:
             raise ServeError(f"response body of {length} bytes is implausible")
         payload = await self._reader.readexactly(length) if length else b""
+        self.last_headers = headers
         if headers.get("connection", "").lower() == "close":
             self.close()
         return status, payload
@@ -253,12 +292,14 @@ async def run_loadtest(
 
     status_counts: dict[str, int] = {}
     latencies: list[float] = []
+    trace_ids: list[str | None] = []
     errors = 0
 
-    def record(status: int, latency_s: float) -> None:
+    def record(status: int, latency_s: float, trace_id: str | None) -> None:
         status_counts[str(status)] = status_counts.get(str(status), 0) + 1
         if status == 200:
             latencies.append(latency_s)
+            trace_ids.append(trace_id)
 
     async def one(conn: _Connection, index: int, scheduled_pc: float) -> None:
         nonlocal errors
@@ -270,7 +311,11 @@ async def run_loadtest(
         except (ConnectionError, OSError, ServeError, asyncio.IncompleteReadError):
             errors += 1
             return
-        record(status, time.perf_counter() - scheduled_pc)
+        record(
+            status,
+            time.perf_counter() - scheduled_pc,
+            conn.last_headers.get(TRACE_ID_HEADER),
+        )
 
     start = time.perf_counter()
     if rate_rps is None:
@@ -322,4 +367,5 @@ async def run_loadtest(
         status_counts=status_counts,
         latencies_s=latencies,
         errors=errors,
+        trace_ids=trace_ids,
     )

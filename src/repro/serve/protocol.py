@@ -40,10 +40,15 @@ __all__ = [
     "decode_frame",
     "detections_payload",
     "MAX_HEADER_BYTES",
+    "TRACE_ID_HEADER",
 ]
 
 #: total header bytes (request line included) before a 431 is returned
 MAX_HEADER_BYTES = 16384
+
+#: response header carrying the request's trace id (part of the wire
+#: format: the server stamps it, the load generator reads it back)
+TRACE_ID_HEADER = "x-repro-trace-id"
 
 #: bounds on server-side rendered frame references (a reference is
 #: cheap to send but not cheap to render — cap what one request can ask)
@@ -88,6 +93,15 @@ class HttpRequest:
     @property
     def path(self) -> str:
         return self.target.split("?", 1)[0]
+
+    @property
+    def query(self) -> dict[str, str]:
+        """Decoded query parameters (last value wins on duplicates)."""
+        if "?" not in self.target:
+            return {}
+        from urllib.parse import parse_qsl
+
+        return dict(parse_qsl(self.target.split("?", 1)[1], keep_blank_values=True))
 
     @property
     def content_type(self) -> str:
@@ -183,15 +197,22 @@ def encode_response(
     keep_alive: bool = True,
     extra_headers: dict[str, str] | None = None,
 ) -> bytes:
-    """Serialise one HTTP/1.1 response (always with ``Content-Length``)."""
+    """Serialise one HTTP/1.1 response (always with ``Content-Length``).
+
+    An explicit ``Content-Type`` key in ``extra_headers`` overrides the
+    default (the route dict stays the single source of per-response
+    headers — the Prometheus exposition uses this to switch media type).
+    """
     reason = _REASONS.get(status, "Unknown")
+    headers = dict(extra_headers or {})
+    content_type = headers.pop("Content-Type", content_type)
     lines = [
         f"HTTP/1.1 {status} {reason}",
         f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         f"Connection: {'keep-alive' if keep_alive else 'close'}",
     ]
-    for name, value in (extra_headers or {}).items():
+    for name, value in headers.items():
         lines.append(f"{name}: {value}")
     return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
 

@@ -44,13 +44,20 @@ from repro.errors import (
     BadRequestError,
     ConfigurationError,
     RequestSheddedError,
+    WorkerCrashError,
 )
+from repro.obs.context import TraceContext
+from repro.obs.flight import FlightRecorder
+from repro.obs.log import FORMATS as LOG_FORMATS
+from repro.obs.log import StructuredLogger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import PROM_CONTENT_TYPE, render_prometheus
 from repro.obs.report import build_snapshot
 from repro.obs.tracer import Tracer
 from repro.serve.admission import AdmissionConfig, AdmissionController
-from repro.serve.batcher import MicroBatcher
+from repro.serve.batcher import MicroBatcher, RequestTelemetry
 from repro.serve.protocol import (
+    TRACE_ID_HEADER,
     decode_frame,
     detections_payload,
     encode_response,
@@ -58,7 +65,12 @@ from repro.serve.protocol import (
     read_request,
 )
 
-__all__ = ["ServerConfig", "DetectionServer"]
+__all__ = ["ServerConfig", "DetectionServer", "TRACE_ID_HEADER"]
+
+#: flight-dump filename used when none is configured (signal-triggered
+#: dumps under the CLI; never written by in-test servers, which leave
+#: ``flight_path`` unset)
+DEFAULT_FLIGHT_PATH = "FLIGHT_serve.json"
 
 
 @dataclass(frozen=True)
@@ -83,6 +95,15 @@ class ServerConfig:
     #: frame side length used for the warmup frame
     warmup_side: int = 96
     trace: bool = False
+    #: structured-log format (``json`` | ``text``); level comes from
+    #: ``log_level`` or the ``REPRO_LOG`` environment variable
+    log_format: str = "text"
+    log_level: str | None = None
+    #: flight-recorder ring size (last N request + lifecycle events)
+    flight_capacity: int = 256
+    #: where crash/SIGUSR2 flight dumps are written; ``None`` disables
+    #: automatic file dumps (``GET /debug/flight`` always works)
+    flight_path: str | None = None
 
     def validate(self) -> None:
         if self.workers < 0:
@@ -90,6 +111,15 @@ class ServerConfig:
         if self.max_body_bytes < 1024:
             raise ConfigurationError(
                 f"max_body_bytes must be >= 1024, got {self.max_body_bytes}"
+            )
+        if self.log_format not in LOG_FORMATS:
+            raise ConfigurationError(
+                f"unknown log format {self.log_format!r}; "
+                f"choose from {list(LOG_FORMATS)}"
+            )
+        if self.flight_capacity < 1:
+            raise ConfigurationError(
+                f"flight_capacity must be >= 1, got {self.flight_capacity}"
             )
         self.admission.validate()
 
@@ -119,11 +149,20 @@ def _build_pipeline(
 class DetectionServer:
     """One serving instance: listener + admission + batcher + engine."""
 
-    def __init__(self, config: ServerConfig | None = None) -> None:
+    def __init__(
+        self, config: ServerConfig | None = None, *, log_stream=None
+    ) -> None:
         self._config = config or ServerConfig()
         self._config.validate()
         self._tracer = Tracer(enabled=self._config.trace)
         self._metrics = MetricsRegistry()
+        # ``log_stream`` overrides stderr (benchmarks and tests capture it)
+        self._log = StructuredLogger(
+            self._config.log_format,
+            level=self._config.log_level,
+            stream=log_stream,
+        )
+        self._flight = FlightRecorder(self._config.flight_capacity)
         self._admission = AdmissionController(
             self._config.admission, metrics=self._metrics
         )
@@ -156,6 +195,14 @@ class DetectionServer:
     @property
     def tracer(self) -> Tracer:
         return self._tracer
+
+    @property
+    def log(self) -> StructuredLogger:
+        return self._log
+
+    @property
+    def flight(self) -> FlightRecorder:
+        return self._flight
 
     @property
     def port(self) -> int:
@@ -204,14 +251,40 @@ class DetectionServer:
             self._handle_connection, cfg.host, cfg.port
         )
         self._started_pc = time.perf_counter()
+        self._lifecycle(
+            "listening",
+            host=cfg.host,
+            port=self.port,
+            workers=cfg.workers,
+            sharding=self._engine.sharding.value,
+        )
         # liveness is now green; readiness flips after the warmup frame
+        warmup_start = time.perf_counter()
         await asyncio.get_running_loop().run_in_executor(
             self._infer_pool, self._warmup
         )
         self._ready.set()
+        self._lifecycle(
+            "warmup", warmup_s=round(time.perf_counter() - warmup_start, 6)
+        )
 
-    def _infer(self, lumas: list) -> list:
-        return list(self._engine.process_frames(lumas))
+    def _infer(self, lumas: list, traces: list | None = None) -> list:
+        """Run one batch through the engine, one ``submit`` per frame.
+
+        Per-frame submission (instead of one ``process_frames`` pass)
+        carries each request's trace id to its worker — thread or
+        process — so worker-side ``frame`` spans and the result's
+        ``worker`` attribution are request-scoped.  Results come back in
+        batch order; any worker failure fails the whole batch, exactly
+        as the streaming path did.
+        """
+        if traces is None:
+            traces = [None] * len(lumas)
+        futures = [
+            self._engine.submit(luma, trace=trace)
+            for luma, trace in zip(lumas, traces)
+        ]
+        return [future.result() for future in futures]
 
     def _warmup(self) -> None:
         side = self._config.warmup_side
@@ -220,12 +293,27 @@ class DetectionServer:
         self._metrics.counter("serve.warmup_frames").inc()
 
     def install_signal_handlers(self) -> None:
-        """SIGTERM/SIGINT start a graceful drain (idempotent)."""
+        """SIGTERM/SIGINT drain gracefully; SIGUSR2 dumps the flight ring."""
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGTERM, signal.SIGINT):
             loop.add_signal_handler(
                 sig, lambda: asyncio.ensure_future(self.drain())
             )
+        loop.add_signal_handler(sig=signal.SIGUSR2, callback=self.dump_flight)
+
+    def dump_flight(self, reason: str = "signal") -> str | None:
+        """Write the flight ring to the configured dump path; returns it."""
+        path = self._config.flight_path or DEFAULT_FLIGHT_PATH
+        try:
+            self._flight.dump(path, reason=reason)
+        except OSError as exc:  # pragma: no cover - disk trouble
+            self._log.event(
+                "lifecycle", level="error", phase="flight_dump_failed",
+                error=str(exc), path=path,
+            )
+            return None
+        self._log.event("lifecycle", phase="flight_dump", path=path, reason=reason)
+        return path
 
     async def wait_closed(self) -> None:
         """Block until a drain completes."""
@@ -245,6 +333,7 @@ class DetectionServer:
             await self._stopped.wait()
             return
         self._draining = True  # /readyz answers 503 from here on
+        self._lifecycle("drain_begin", busy=self._busy)
         while self._busy > 0:
             self._idle_waiter.clear()
             await self._idle_waiter.wait()
@@ -260,6 +349,10 @@ class DetectionServer:
             self._engine.close()
         if self._infer_pool is not None:
             self._infer_pool.shutdown(wait=True)
+        self._lifecycle(
+            "stopped",
+            requests=int(self._metrics.counter("serve.requests").value),
+        )
         self._stopped.set()
 
     # ------------------------------------------------------------------
@@ -359,29 +452,125 @@ class DetectionServer:
                 {"Retry-After": "1"},
             )
         if path == "/metrics":
-            return 200, (json_body(self._metrics.snapshot()), None)
+            return self._metrics_response(request)
         if path == "/stats":
             return 200, (json_body(self._stats()), None)
+        if path == "/debug/flight":
+            return 200, (json_body(self._flight.snapshot()), None)
         return 404, (json_body({"error": f"no route {path!r}"}), None)
 
-    async def _detect(self, request) -> tuple[int, tuple[bytes, dict | None]]:
-        if not self.ready:
-            state = "draining" if self._draining else "warming"
-            return 503, (
-                json_body({"error": f"server is {state}"}),
-                {"Retry-After": "1"},
+    def _metrics_response(self, request) -> tuple[int, tuple[bytes, dict | None]]:
+        """``/metrics``, content-negotiated between JSON and Prometheus.
+
+        ``?format=prom`` (or ``json``) wins; otherwise an ``Accept``
+        header naming ``text/plain`` selects the Prometheus 0.0.4 text
+        exposition.  Both render from the same snapshot call, so the two
+        formats can never disagree within one scrape.
+        """
+        fmt = request.query.get("format")
+        if fmt not in (None, "json", "prom"):
+            raise BadRequestError(
+                f"unknown metrics format {fmt!r}; use 'json' or 'prom'"
             )
-        self._count_status(None)  # request seen
-        ticket = self._admission.try_admit(self._batcher.queue_depth)
+        if fmt is None and "text/plain" in request.headers.get("accept", ""):
+            fmt = "prom"
+        snapshot = self._metrics.snapshot()
+        if fmt == "prom":
+            body = render_prometheus(snapshot).encode("utf-8")
+            return 200, (body, {"Content-Type": PROM_CONTENT_TYPE})
+        return 200, (json_body(snapshot), None)
+
+    async def _detect(self, request) -> tuple[int, tuple[bytes, dict | None]]:
+        """``POST /v1/detect`` — the single request choke point.
+
+        Every outcome (200, shed, bad request, crash) flows through
+        here, so the trace-id header, the request log event, and the
+        flight-recorder entry are each emitted exactly once per request.
+        """
+        ctx = TraceContext.from_headers(request.headers)
+        telemetry = RequestTelemetry(trace=ctx.trace_id)
+        headers: dict = {TRACE_ID_HEADER: ctx.trace_id}
+        start_pc = time.perf_counter()
+        status = 500
+        shed_reason: str | None = None
+        error: str | None = None
         try:
-            luma = decode_frame(request)
-            result = await self._batcher.submit(luma, ticket)
-            with self._tracer.span("serialize", cat="serve"):
-                body = json_body(detections_payload(result))
+            if not self.ready:
+                state = "draining" if self._draining else "warming"
+                shed_reason = state
+                error = f"server is {state}"
+                status = 503
+                headers["Retry-After"] = "1"
+                return 503, (
+                    json_body({"error": error, "trace_id": ctx.trace_id}),
+                    headers,
+                )
+            self._count_status(None)  # request seen
+            ticket = self._admission.try_admit(
+                self._batcher.queue_depth, trace=ctx.trace_id
+            )
+            try:
+                luma = decode_frame(request)
+                result = await self._batcher.submit(luma, ticket, telemetry)
+                with self._tracer.span("serialize", cat="serve", trace=ctx.trace_id):
+                    serialize_start = time.perf_counter()
+                    payload = detections_payload(result)
+                    telemetry.serialize_s = time.perf_counter() - serialize_start
+                payload["trace_id"] = ctx.trace_id
+                payload["timing"] = telemetry.timing()
+                body = json_body(payload)
+            finally:
+                self._admission.release()
+            status = 200
+            self._count_status(200)
+            return 200, (body, headers)
+        except BadRequestError as exc:
+            status = exc.status
+            error = str(exc)
+            self._count_status(status)
+            return status, (
+                json_body({"error": error, "trace_id": ctx.trace_id}),
+                headers,
+            )
+        except RequestSheddedError as exc:
+            # DeadlineExpiredError subclasses RequestSheddedError, so
+            # queue-deadline expiry lands here too (reason "deadline")
+            status = 429
+            shed_reason = exc.reason
+            error = str(exc)
+            self._count_status(429)
+            headers["Retry-After"] = str(max(1, math.ceil(exc.retry_after_s)))
+            return 429, (
+                json_body(
+                    {
+                        "error": error,
+                        "reason": exc.reason,
+                        "retry_after_s": exc.retry_after_s,
+                        "trace_id": ctx.trace_id,
+                    }
+                ),
+                headers,
+            )
+        except WorkerCrashError as exc:
+            status = 500
+            error = f"{type(exc).__name__}: {exc}"
+            self._count_status(500)
+            self._on_worker_crash(ctx, error)
+            return 500, (
+                json_body({"error": error, "trace_id": ctx.trace_id}),
+                headers,
+            )
+        except Exception as exc:
+            status = 500
+            error = f"{type(exc).__name__}: {exc}"
+            self._count_status(500)
+            return 500, (
+                json_body({"error": error, "trace_id": ctx.trace_id}),
+                headers,
+            )
         finally:
-            self._admission.release()
-        self._count_status(200)
-        return 200, (body, None)
+            latency_s = time.perf_counter() - start_pc
+            self._log_request(ctx, status, latency_s, telemetry, shed_reason, error)
 
     # ------------------------------------------------------------------
     # introspection
@@ -391,6 +580,52 @@ class DetectionServer:
             self._metrics.counter("serve.requests").inc()
         else:
             self._metrics.counter(f"serve.http.{status}").inc()
+
+    def _lifecycle(self, phase: str, *, level: str = "info", **fields) -> None:
+        """One lifecycle transition: structured log + flight-ring entry."""
+        self._log.event("lifecycle", level=level, phase=phase, **fields)
+        self._flight.record("lifecycle", phase=phase, **fields)
+
+    def _log_request(
+        self,
+        ctx: TraceContext,
+        status: int,
+        latency_s: float,
+        telemetry: RequestTelemetry,
+        shed_reason: str | None,
+        error: str | None,
+    ) -> None:
+        """Exactly one ``request`` event per ``/v1/detect`` request.
+
+        The same field set lands on the structured log and in the flight
+        ring, so the two can be cross-checked by trace id.
+        """
+        fields: dict = {
+            "trace_id": ctx.trace_id,
+            "status": status,
+            "latency_s": round(latency_s, 6),
+        }
+        if telemetry.batch_size is not None:
+            fields["batch_size"] = telemetry.batch_size
+        if telemetry.worker is not None:
+            fields["worker"] = telemetry.worker
+        if telemetry.queue_wait_s is not None:
+            fields["queue_wait_s"] = round(telemetry.queue_wait_s, 6)
+        if shed_reason is not None:
+            fields["shed_reason"] = shed_reason
+        if error is not None:
+            fields["error"] = error
+        level = "info" if status < 400 else ("warning" if status < 500 else "error")
+        self._log.event("request", level=level, **fields)
+        self._flight.record("request", **fields)
+
+    def _on_worker_crash(self, ctx: TraceContext, error: str) -> None:
+        """A worker died under a request: record it, dump the ring."""
+        self._lifecycle(
+            "worker_crash", level="error", trace_id=ctx.trace_id, error=error
+        )
+        if self._config.flight_path is not None:
+            self.dump_flight(reason="worker_crash")
 
     def _stats(self) -> dict:
         backend = self._pipeline.backend.name if self._pipeline else None
@@ -418,6 +653,18 @@ class DetectionServer:
                 "fastpath": (
                     self._pipeline.fastpath.policy.value if self._pipeline else None
                 ),
+            },
+            "observability": {
+                "log": {
+                    "format": self._log.fmt,
+                    "emitted": self._log.emitted,
+                    "suppressed": self._log.suppressed,
+                },
+                "flight": {
+                    "capacity": self._flight.capacity,
+                    "recorded": self._flight.recorded,
+                    "dropped": self._flight.dropped,
+                },
             },
         }
         return snap

@@ -1,0 +1,86 @@
+"""TraceContext: W3C traceparent shape, adoption, and RNG hygiene."""
+
+import random
+import string
+
+from repro.obs.context import TraceContext
+
+HEX = set(string.hexdigits.lower())
+
+
+def is_hex(value: str, width: int) -> bool:
+    return len(value) == width and set(value) <= HEX
+
+
+class TestMint:
+    def test_shapes(self):
+        ctx = TraceContext.mint()
+        assert is_hex(ctx.trace_id, 32)
+        assert is_hex(ctx.span_id, 16)
+        assert int(ctx.trace_id, 16) != 0
+        assert int(ctx.span_id, 16) != 0
+
+    def test_mints_are_unique(self):
+        ids = {TraceContext.mint().trace_id for _ in range(64)}
+        assert len(ids) == 64
+
+    def test_does_not_touch_global_rng(self):
+        """Seeded-determinism tests must not see tracing in the RNG stream."""
+        random.seed(1234)
+        state = random.getstate()
+        for _ in range(8):
+            TraceContext.mint().child()
+        assert random.getstate() == state
+
+
+class TestWireFormat:
+    def test_traceparent_round_trip(self):
+        ctx = TraceContext.mint()
+        header = ctx.traceparent()
+        assert header == f"00-{ctx.trace_id}-{ctx.span_id}-01"
+        assert TraceContext.parse(header) == ctx
+
+    def test_parse_accepts_case_and_future_versions(self):
+        trace, span = "AB" * 16, "CD" * 8
+        ctx = TraceContext.parse(f"01-{trace}-{span}-00")
+        assert ctx is not None
+        assert ctx.trace_id == "ab" * 16  # normalised to lowercase
+        assert ctx.span_id == "cd" * 8
+
+    def test_parse_rejects_malformed(self):
+        good_trace, good_span = "ab" * 16, "cd" * 8
+        bad = [
+            None,
+            "",
+            "nonsense",
+            f"00-{good_trace}-{good_span}",  # missing flags
+            f"00-{good_trace[:-2]}-{good_span}-01",  # short trace id
+            f"00-{good_trace}-{good_span[:-2]}-01",  # short span id
+            f"00-{'0' * 32}-{good_span}-01",  # all-zero trace id
+            f"00-{good_trace}-{'0' * 16}-01",  # all-zero span id
+            f"ff-{good_trace}-{good_span}-01",  # forbidden version
+            f"0-{good_trace}-{good_span}-01",  # 1-hex version
+            f"00-{'xy' * 16}-{good_span}-01",  # non-hex trace id
+        ]
+        for header in bad:
+            assert TraceContext.parse(header) is None, header
+
+
+class TestAdoption:
+    def test_from_headers_adopts_trace_with_new_span(self):
+        parent = TraceContext.mint()
+        ctx = TraceContext.from_headers({"traceparent": parent.traceparent()})
+        assert ctx.trace_id == parent.trace_id
+        assert ctx.span_id != parent.span_id  # one hop deeper
+
+    def test_from_headers_mints_without_or_with_bad_header(self):
+        fresh = TraceContext.from_headers({})
+        assert is_hex(fresh.trace_id, 32)
+        bad = TraceContext.from_headers({"traceparent": "garbage"})
+        assert is_hex(bad.trace_id, 32)
+
+    def test_child_keeps_trace(self):
+        ctx = TraceContext.mint()
+        kid = ctx.child()
+        assert kid.trace_id == ctx.trace_id
+        assert kid.span_id != ctx.span_id

@@ -1,0 +1,98 @@
+"""FlightRecorder: bounded ring semantics, dumps, thread safety."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.flight import FlightRecorder
+
+
+class TestRing:
+    def test_records_in_order_with_seq_and_ts(self):
+        ring = FlightRecorder(capacity=8)
+        ring.record("lifecycle", phase="warmup")
+        ring.record("request", trace_id="abc", status=200)
+        snap = ring.snapshot()
+        assert snap["capacity"] == 8
+        assert snap["recorded"] == 2
+        assert snap["dropped"] == 0
+        first, second = snap["events"]
+        assert first["kind"] == "lifecycle" and first["seq"] == 0
+        assert second["kind"] == "request" and second["seq"] == 1
+        assert second["trace_id"] == "abc"
+        assert second["ts"] >= first["ts"] > 0
+        assert len(ring) == 2
+
+    def test_wrap_keeps_newest_and_counts_dropped(self):
+        ring = FlightRecorder(capacity=4)
+        for i in range(10):
+            ring.record("request", i=i)
+        snap = ring.snapshot()
+        assert [e["i"] for e in snap["events"]] == [6, 7, 8, 9]
+        assert snap["recorded"] == 10
+        assert snap["dropped"] == 6
+        assert ring.recorded == 10
+        assert ring.dropped == 6
+
+    def test_snapshot_is_a_copy(self):
+        ring = FlightRecorder(capacity=4)
+        ring.record("request", i=0)
+        snap = ring.snapshot()
+        snap["events"][0]["i"] = 99
+        assert ring.snapshot()["events"][0]["i"] == 0
+
+    def test_clear(self):
+        ring = FlightRecorder(capacity=2)
+        for i in range(5):
+            ring.record("request", i=i)
+        ring.clear()
+        assert len(ring) == 0
+        assert ring.snapshot()["dropped"] == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            FlightRecorder(capacity=0)
+
+
+class TestDump:
+    def test_dump_writes_valid_json_with_reason(self, tmp_path):
+        ring = FlightRecorder(capacity=4)
+        ring.record("lifecycle", phase="worker_crash", trace_id="abc")
+        path = tmp_path / "flight.json"
+        snap = ring.dump(str(path), reason="worker_crash")
+        assert snap["reason"] == "worker_crash"
+        on_disk = json.loads(path.read_text())
+        assert on_disk == snap
+        assert on_disk["events"][0]["trace_id"] == "abc"
+
+    def test_dump_stringifies_unserialisable_fields(self, tmp_path):
+        ring = FlightRecorder(capacity=4)
+        ring.record("weird", obj=object())
+        path = tmp_path / "flight.json"
+        ring.dump(str(path))
+        assert "object object" in json.loads(path.read_text())["events"][0]["obj"]
+
+
+class TestThreadSafety:
+    def test_concurrent_records_all_accounted(self):
+        ring = FlightRecorder(capacity=64)
+
+        def work():
+            for i in range(500):
+                ring.record("request", i=i)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = ring.snapshot()
+        assert snap["recorded"] == 2000
+        assert snap["dropped"] == 2000 - 64
+        assert len(snap["events"]) == 64
+        # seqs are unique and the ring holds the newest window
+        seqs = [e["seq"] for e in snap["events"]]
+        assert len(set(seqs)) == 64
+        assert max(seqs) == 1999

@@ -46,6 +46,75 @@ class TestInstruments:
     def test_histogram_summary_empty(self):
         assert Histogram().summary()["count"] == 0
 
+
+class TestHistogramBoundedMemory:
+    """A serve-lifetime histogram must not grow without bound: past
+    ``max_samples`` the stored values become a uniform reservoir while
+    count/sum/min/max/mean stay exact."""
+
+    def test_samples_held_never_exceeds_cap(self):
+        h = Histogram(max_samples=100)
+        for v in range(1000):
+            h.observe(float(v))
+        assert h.samples_held == 100
+        assert h.count == 1000
+
+    def test_exact_stats_survive_sampling(self):
+        h = Histogram(max_samples=64)
+        values = [float(v) for v in range(1, 1001)]
+        for v in values:
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 1000
+        assert s["sum"] == pytest.approx(sum(values))
+        assert s["min"] == 1.0
+        assert s["max"] == 1000.0
+        assert s["mean"] == pytest.approx(sum(values) / 1000)
+
+    def test_reservoir_percentiles_are_sane(self):
+        """On 1..10000 the sampled p50 must land near 5000 — a reservoir
+        gone wrong (e.g. keeping only the first cap values) lands at 2048."""
+        h = Histogram(max_samples=4096)
+        for v in range(1, 10001):
+            h.observe(float(v))
+        assert h.samples_held == 4096
+        assert 3500 <= h.percentile(50) <= 6500
+        assert h.percentile(95) >= 8000
+
+    def test_below_cap_percentiles_stay_exact(self):
+        h = Histogram(max_samples=4096)
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.samples_held == 100
+        assert h.percentile(50) == 50.0
+
+    def test_reset_clears_reservoir_state(self):
+        h = Histogram(max_samples=8)
+        for v in range(100):
+            h.observe(float(v))
+        h.summary(reset=True)
+        assert h.count == 0
+        assert h.samples_held == 0
+        h.observe(5.0)
+        assert h.summary() == {
+            "count": 1, "sum": 5.0, "min": 5.0, "mean": 5.0,
+            "p50": 5.0, "p95": 5.0, "max": 5.0,
+        }
+
+    def test_cap_validated(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(max_samples=0)
+
+    def test_sampling_does_not_touch_global_rng(self):
+        import random
+
+        random.seed(99)
+        state = random.getstate()
+        h = Histogram(max_samples=4)
+        for v in range(100):
+            h.observe(float(v))
+        assert random.getstate() == state
+
     def test_histogram_summary(self):
         h = Histogram()
         for v in (4.0, 1.0, 3.0, 2.0):

@@ -1,0 +1,111 @@
+"""Prometheus 0.0.4 exposition: sanitisation, rendering, JSON agreement."""
+
+import re
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import (
+    PROM_CONTENT_TYPE,
+    render_prometheus,
+    sanitize_metric_name,
+)
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_TYPE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(?P<kind>counter|gauge|summary|histogram|untyped)$"
+)
+
+
+def parse_exposition(text: str) -> dict[str, float]:
+    """Strict-ish 0.0.4 parser: every line must be a TYPE line or a
+    sample; returns ``{name{labels}: value}``.  Raises on anything else,
+    which is the test's point."""
+    samples: dict[str, float] = {}
+    typed: set[str] = set()
+    for line in text.splitlines():
+        if not line:
+            continue
+        type_match = _TYPE.match(line)
+        if type_match:
+            name = type_match.group("name")
+            assert name not in typed, f"duplicate TYPE for {name}"
+            typed.add(name)
+            continue
+        assert not line.startswith("#"), f"unparseable comment line {line!r}"
+        sample = _SAMPLE.match(line)
+        assert sample, f"unparseable sample line {line!r}"
+        key = sample.group("name") + (sample.group("labels") or "")
+        assert key not in samples, f"duplicate sample {key}"
+        samples[key] = float(sample.group("value"))
+    return samples
+
+
+class TestSanitize:
+    def test_deterministic_and_legal(self):
+        assert sanitize_metric_name("serve.http.200") == "repro_serve_http_200"
+        assert sanitize_metric_name("a-b c") == "repro_a_b_c"
+        # idempotent on already-clean names
+        assert sanitize_metric_name("engine_frames") == "repro_engine_frames"
+
+    def test_content_type_is_004(self):
+        assert "version=0.0.4" in PROM_CONTENT_TYPE
+
+
+class TestRender:
+    def test_counters_gauges_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.requests").inc(7)
+        reg.gauge("serve.inflight").set(3.0)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            reg.histogram("serve.infer_s").observe(v)
+        text = render_prometheus(reg.snapshot())
+        samples = parse_exposition(text)
+        assert samples["repro_serve_requests"] == 7
+        assert samples["repro_serve_inflight"] == 3
+        assert samples["repro_serve_inflight_max"] == 3
+        assert samples['repro_serve_infer_s{quantile="0.5"}'] == 2.0
+        assert samples['repro_serve_infer_s{quantile="0.95"}'] == 4.0
+        assert samples["repro_serve_infer_s_sum"] == 10.0
+        assert samples["repro_serve_infer_s_count"] == 4
+        assert samples["repro_serve_infer_s_min"] == 1.0
+        assert samples["repro_serve_infer_s_max"] == 4.0
+
+    def test_integral_values_render_without_decimal_point(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(5)
+        text = render_prometheus(reg.snapshot())
+        assert "repro_n 5\n" in text
+
+    def test_empty_registry_renders_empty_exposition(self):
+        assert parse_exposition(render_prometheus(MetricsRegistry().snapshot())) == {}
+
+    def test_sanitisation_collisions_raise(self):
+        snapshot = {"counters": {"a.b": 1.0, "a-b": 2.0}, "gauges": {},
+                    "histograms": {}}
+        with pytest.raises(ConfigurationError):
+            render_prometheus(snapshot)
+
+
+class TestAgreement:
+    def test_prom_and_json_agree_on_every_counter(self):
+        """The acceptance check: both formats from one snapshot agree."""
+        reg = MetricsRegistry()
+        reg.counter("serve.requests").inc(24)
+        reg.counter("serve.http.200").inc(23)
+        reg.counter("serve.http.429").inc(1)
+        reg.histogram("serve.queue_wait_s").observe(0.25)
+        snapshot = reg.snapshot()
+        samples = parse_exposition(render_prometheus(snapshot))
+        for name, value in snapshot["counters"].items():
+            assert samples[sanitize_metric_name(name)] == value
+        for name, summary in snapshot["histograms"].items():
+            prom = sanitize_metric_name(name)
+            assert samples[prom + "_count"] == summary["count"]
+            assert samples[prom + "_sum"] == summary["sum"]

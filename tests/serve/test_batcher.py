@@ -16,16 +16,17 @@ from repro.errors import ConfigurationError, DeadlineExpiredError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.serve.admission import AdmissionTicket
-from repro.serve.batcher import MicroBatcher
+from repro.serve.batcher import MicroBatcher, RequestTelemetry
 
 
-def ticket(budget_s: float = 5.0) -> AdmissionTicket:
+def ticket(budget_s: float = 5.0, trace: str | None = None) -> AdmissionTicket:
     now = time.perf_counter()
     return AdmissionTicket(
         enqueued_pc=now,
         deadline_pc=now + budget_s,
         budget_s=budget_s,
         retry_after_s=0.05,
+        trace=trace,
     )
 
 
@@ -34,14 +35,16 @@ def run_batch(coro):
 
 
 class _Recorder:
-    """Stub infer: records batch sizes, echoes inputs."""
+    """Stub infer: records batch sizes and traces, echoes inputs."""
 
     def __init__(self, delay_s: float = 0.0):
         self.batches: list[int] = []
+        self.traces: list[list] = []
         self.delay_s = delay_s
 
-    def __call__(self, items: list) -> list:
+    def __call__(self, items: list, traces: list | None = None) -> list:
         self.batches.append(len(items))
+        self.traces.append(list(traces or []))
         if self.delay_s:
             time.sleep(self.delay_s)
         return [f"r:{item}" for item in items]
@@ -160,7 +163,7 @@ class TestDeadlines:
 class TestLifecycle:
     def test_infer_errors_propagate_to_every_waiter(self):
         async def drive():
-            def broken(items):
+            def broken(items, traces):
                 raise RuntimeError("engine exploded")
 
             with ThreadPoolExecutor(1) as pool:
@@ -254,3 +257,64 @@ class TestObservability:
         assert snap["histograms"]["serve.batch_size"]["count"] >= 1
         assert snap["histograms"]["serve.queue_wait_s"]["count"] == 3
         assert snap["histograms"]["serve.infer_s"]["count"] >= 1
+
+    def test_traces_ride_through_dispatch(self):
+        """Each request's trace id reaches ``infer`` and its queue_wait span."""
+
+        async def drive():
+            infer = _Recorder()
+            tracer = Tracer()
+            with ThreadPoolExecutor(1) as pool:
+                batcher = MicroBatcher(
+                    infer, max_batch=4, max_delay_s=0.01, executor=pool,
+                    tracer=tracer,
+                )
+                batcher.start()
+                await asyncio.gather(
+                    *(
+                        batcher.submit(i, ticket(trace=f"t{i}"))
+                        for i in range(3)
+                    )
+                )
+                await batcher.aclose()
+            return infer, tracer
+
+        infer, tracer = run_batch(drive())
+        assert sorted(t for batch in infer.traces for t in batch) == [
+            "t0", "t1", "t2"
+        ]
+        waits = [s for s in tracer.spans() if s.name == "queue_wait"]
+        assert sorted(s.args["trace"] for s in waits) == ["t0", "t1", "t2"]
+
+    def test_telemetry_is_filled_during_dispatch(self):
+        async def drive():
+            infer = _Recorder()
+            with ThreadPoolExecutor(1) as pool:
+                batcher = MicroBatcher(
+                    infer, max_batch=4, max_delay_s=0.01, executor=pool
+                )
+                batcher.start()
+                telemetry = [RequestTelemetry(trace=f"t{i}") for i in range(2)]
+                await asyncio.gather(
+                    *(
+                        batcher.submit(i, ticket(), telemetry[i])
+                        for i in range(2)
+                    )
+                )
+                await batcher.aclose()
+            return infer, telemetry
+
+        infer, telemetry = run_batch(drive())
+        # telemetry.trace wins over the (untraced) ticket
+        assert sorted(t for batch in infer.traces for t in batch) == ["t0", "t1"]
+        for t in telemetry:
+            assert t.queue_wait_s is not None and t.queue_wait_s >= 0.0
+            assert t.batch_form_s is not None and t.batch_form_s >= 0.0
+            assert t.infer_s is not None and t.infer_s >= 0.0
+            assert t.batch_size in (1, 2)
+            timing = t.timing()
+            assert set(timing) == {
+                "queue_wait_s", "batch_form_s", "infer_s",
+                "serialize_s", "batch_size",
+            }
+            assert timing["serialize_s"] is None  # the server's leg

@@ -8,6 +8,7 @@ exercised exactly as a network client sees them.
 """
 
 import asyncio
+import io
 import json
 
 import numpy as np
@@ -28,7 +29,8 @@ def serve(config: ServerConfig | None = None):
         async def drive():
             server = DetectionServer(
                 config
-                or ServerConfig(port=0, cascade="quick", workers=1, max_batch=4)
+                or ServerConfig(port=0, cascade="quick", workers=1, max_batch=4),
+                log_stream=io.StringIO(),  # keep test output clean
             )
             await server.start()
             conn = _Connection("127.0.0.1", server.port)
@@ -64,7 +66,10 @@ class TestRouting:
         assert outcome["/readyz"][0] == 200
         assert outcome["detect"][0] == 200
         body = json.loads(outcome["detect"][1])
-        assert set(body) == {"detections", "raw_count", "simulated_detection_s"}
+        assert set(body) == {
+            "detections", "raw_count", "simulated_detection_s",
+            "trace_id", "timing",
+        }
         metrics = json.loads(outcome["/metrics"][1])
         assert "counters" in metrics and "histograms" in metrics
         stats = json.loads(outcome["/stats"][1])
@@ -164,7 +169,14 @@ class TestIdentity:
 
         for (status, got), want in zip(outcome, expected * 2):
             assert status == 200
-            assert got == want  # byte-for-byte
+            # the detection content must be byte-for-byte identical once
+            # the per-request additions (trace_id, timing) are stripped
+            payload = json.loads(got)
+            subset = {
+                k: payload[k]
+                for k in ("detections", "raw_count", "simulated_detection_s")
+            }
+            assert json_body(subset) == want
 
     def test_json_reference_matches_direct_pipeline(self):
         """A frame reference answers exactly like the pipeline on the
@@ -197,7 +209,12 @@ class TestIdentity:
 
         status, got = outcome
         assert status == 200
-        assert got == want
+        payload = json.loads(got)
+        subset = {
+            k: payload[k]
+            for k in ("detections", "raw_count", "simulated_detection_s")
+        }
+        assert json_body(subset) == want
 
 
 class TestAdmission:

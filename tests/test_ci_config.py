@@ -121,6 +121,7 @@ def test_bench_artifacts_are_checked(workflow):
     assert "repro bench check" in serve
     assert "BENCH_serving.json" in serve
     assert "BENCH_serving-loadtest.json" in serve
+    assert "BENCH_log_overhead.json" in serve
 
 
 def test_serve_smoke_always_drains_the_server(workflow):
@@ -209,7 +210,42 @@ def test_serve_smoke_job(workflow):
     serving = uploads["BENCH_serving"]
     assert "BENCH_serving.json" in str(serving["path"])
     assert "BENCH_serving-loadtest.json" in str(serving["path"])
+    assert "BENCH_log_overhead.json" in str(serving["path"])
     assert serving.get("if-no-files-found") == "error"
+
+
+def test_serve_smoke_observability(workflow):
+    """The CLI round trip must exercise the observability surface: JSON
+    structured logs captured to a file, a ``/debug/flight`` dump fetched
+    before the drain, exactly-once request accounting checked by grepping
+    the log, the log-overhead bench validated, and the log + flight dump
+    published as artifacts."""
+    job = workflow["jobs"]["serve-smoke"]
+    text = _steps_text(job)
+    assert "benchmarks/test_log_overhead.py" in text
+    script = next(
+        str(step.get("run", ""))
+        for step in job["steps"]
+        if "repro loadtest" in str(step.get("run", ""))
+    )
+    assert "--log-format json" in script
+    assert "2> serve.log" in script
+    # flight dump comes from the live server, before the SIGTERM drain
+    assert "/debug/flight" in script
+    assert script.index("/debug/flight") < script.index("kill -TERM")
+    # exactly-once accounting: requests logged == requests sent
+    assert "--requests 24" in script
+    assert 'grep -c \'"event": "request"\' serve.log' in script
+    assert '-ne 24' in script
+    uploads = {
+        step["with"]["name"]: step["with"]
+        for step in job["steps"]
+        if "upload-artifact" in str(step.get("uses", ""))
+    }
+    obs = uploads["serve-observability"]
+    assert "serve.log" in str(obs["path"])
+    assert "FLIGHT_serve-smoke.json" in str(obs["path"])
+    assert obs.get("if-no-files-found") == "error"
 
 
 def test_bench_job_records_and_uploads_trace(workflow):
