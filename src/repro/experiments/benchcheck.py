@@ -15,9 +15,13 @@ Baselines live under ``benchmarks/baselines/<experiment>.json``::
     {"experiment": "fastpath",
      "checks": [{"path": "identical_exact", "equals": true},
                 {"path": "recall", "min": 0.99},
+                {"path": "provenance.device", "exists": true},
                 {"path": "exact_stats.anchors_pruned", "max": 0}]}
 
-``equals`` is strict; ``min``/``max`` are loosened by the relative
+``exists`` asserts presence (any value, including ``null``) — shape
+checks for provenance fields whose value varies by host, like the
+capability-probe path.  ``equals`` is strict; ``min``/``max`` are
+loosened by the relative
 ``tolerance`` (a ``min`` of 0.99 at tolerance 0.1 accepts >= 0.891) so
 the checked-in floors survive noisy shared runners.  Baselines assert
 CI-robust invariants — identity flags, recall floors, accounting
@@ -45,7 +49,9 @@ REQUIRED_COMMON = frozenset({"experiment", "schema_version", "provenance"})
 #: per-experiment required result keys (presence, not value — a loadtest
 #: serving artifact legitimately publishes ``"speedup": null``)
 REQUIRED_KEYS = {
-    "throughput": frozenset({"modes", "speedup", "identical_detections"}),
+    "throughput": frozenset(
+        {"modes", "speedup", "identical_detections", "backend", "device"}
+    ),
     "serving": frozenset(
         {"workload", "runs", "fps", "latency", "speedup", "identical_responses"}
     ),
@@ -164,6 +170,16 @@ def _check_baseline(
         report.checks_run += 1
         dotted = check.get("path")
         value = _lookup(payload, dotted) if dotted else _MISSING
+        if "exists" in check:
+            # presence-only: valuable for provenance fields whose value
+            # depends on the host (device kind, probe path)
+            present = value is not _MISSING
+            if present != bool(check["exists"]):
+                expectation = "present" if check["exists"] else "absent"
+                report.failures.append(
+                    f"{dotted}: expected path to be {expectation}"
+                )
+            continue
         if value is _MISSING:
             report.failures.append(f"baseline path {dotted!r} absent from artifact")
             continue
@@ -189,7 +205,7 @@ def _check_baseline(
                 )
         else:
             report.failures.append(
-                f"baseline check for {dotted!r} has no equals/min/max"
+                f"baseline check for {dotted!r} has no equals/min/max/exists"
             )
 
 

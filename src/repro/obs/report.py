@@ -39,11 +39,16 @@ def build_snapshot(
     metrics: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
     backend: str | None = None,
+    device: str | None = None,
+    probe=None,
 ) -> dict:
     """One deterministic-shaped dict with everything observed so far.
 
     When ``backend`` is given, the snapshot records both the active
-    compute backend and the registry contents it was chosen from.
+    compute backend and the registry contents it was chosen from;
+    ``device`` and ``probe`` (a :class:`~repro.backend.registry.
+    ProbeReport`) additionally record the compute device kind and the
+    capability-probe path that selected it.
     """
     snap: dict = {"schema_version": SNAPSHOT_SCHEMA_VERSION}
     if backend is not None:
@@ -53,6 +58,10 @@ def build_snapshot(
             "active": backend,
             "registered": list(available_backends()),
         }
+        if device is not None:
+            snap["backend"]["device"] = device
+        if probe is not None:
+            snap["backend"]["probe"] = probe.to_dict()
     registry_dump = metrics.snapshot() if metrics is not None else {
         "counters": {}, "gauges": {}, "histograms": {}
     }

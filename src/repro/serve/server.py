@@ -81,6 +81,9 @@ class ServerConfig:
     port: int = 8035
     cascade: str = "quick"
     backend: str | None = None
+    #: compute device kind (``auto`` | ``cuda`` | ``mps`` | ``cpu``);
+    #: ``None`` keeps the backend's own device resolution
+    device: str | None = None
     #: fast-path policy (``off`` | ``exact`` | ``fast``); ``None`` ->
     #: ``REPRO_FASTPATH`` or off.  Serving frames come from unrelated
     #: clients, so the engine runs with temporal reuse disabled either
@@ -125,7 +128,11 @@ class ServerConfig:
 
 
 def _build_pipeline(
-    cascade: str, backend: str | None, tracer: Tracer, fastpath: str | None = None
+    cascade: str,
+    backend: str | None,
+    tracer: Tracer,
+    fastpath: str | None = None,
+    device: str | None = None,
 ):
     from repro import zoo
     from repro.detect.pipeline import FaceDetectionPipeline, PipelineConfig
@@ -141,7 +148,7 @@ def _build_pipeline(
         )
     return FaceDetectionPipeline(
         cascades[cascade](seed=0),
-        config=PipelineConfig(backend=backend, fastpath=fastpath),
+        config=PipelineConfig(backend=backend, device=device, fastpath=fastpath),
         tracer=tracer,
     )
 
@@ -223,7 +230,11 @@ class DetectionServer:
 
         cfg = self._config
         self._pipeline = _build_pipeline(
-            cfg.cascade, cfg.backend, self._tracer, fastpath=cfg.fastpath
+            cfg.cascade,
+            cfg.backend,
+            self._tracer,
+            fastpath=cfg.fastpath,
+            device=cfg.device,
         )
         self._engine = DetectionEngine(
             self._pipeline,
@@ -629,7 +640,13 @@ class DetectionServer:
 
     def _stats(self) -> dict:
         backend = self._pipeline.backend.name if self._pipeline else None
-        snap = build_snapshot(self._metrics, self._tracer, backend=backend)
+        snap = build_snapshot(
+            self._metrics,
+            self._tracer,
+            backend=backend,
+            device=self._pipeline.compute_device if self._pipeline else None,
+            probe=self._pipeline.probe_report if self._pipeline else None,
+        )
         snap["serve"] = {
             "state": (
                 "draining"

@@ -45,14 +45,23 @@ def git_sha() -> str:
     return sha if out.returncode == 0 and sha else "unknown"
 
 
-def provenance(backend: str | None = None, mode: str | None = None) -> dict:
+def provenance(
+    backend: str | None = None,
+    mode: str | None = None,
+    device: str | None = None,
+    probe: str | None = None,
+) -> dict:
     """Environment fingerprint embedded in benchmark artifacts.
 
     ``backend`` records the active compute-backend name and ``mode`` the
     engine sharding mode, so trajectory points from different backends
-    or executor kinds are never compared as one series.  ``cpu_count``
-    rides along because sharded speedups are only interpretable against
-    the core budget that produced them.
+    or executor kinds are never compared as one series.  ``device``
+    records the compute device kind the backend resolved to and
+    ``probe`` the one-line probe path that picked it (which candidates
+    were skipped and why) — a ``cuda`` point and a ``cpu`` point of the
+    same backend are different series too.  ``cpu_count`` rides along
+    because sharded speedups are only interpretable against the core
+    budget that produced them.
     """
     import os
 
@@ -68,4 +77,8 @@ def provenance(backend: str | None = None, mode: str | None = None) -> dict:
         out["backend"] = backend
     if mode is not None:
         out["mode"] = mode
+    if device is not None:
+        out["device"] = device
+    if probe is not None:
+        out["probe"] = probe
     return out

@@ -1,0 +1,126 @@
+"""Golden tolerance-gate validation of the ``arrayapi`` backend.
+
+The array-API backend declares ``exactness="tolerance"`` in its
+capability record, so the oracle holds it to explicit per-stage bounds
+plus the detection-level IoU/score gate — the acceptance contract for
+any accelerator backend.  These tests run that gate against
+``reference`` on the same three goldens the byte-identity suite uses (a
+synthetic scene, a trailer frame, a multi-frame stream) and pin the
+dispatch rules: reference-vs-vectorized must keep the byte gate through
+the same refactored differ.
+"""
+
+import pytest
+
+from repro.backend import ArrayApiBackend
+from repro.backend.oracle import StageBound, ToleranceSpec, compare_backends
+from repro.utils.rng import rng_for
+from repro.video.synthesis import render_scene
+from repro.video.trailer import trailer_frames
+from repro.zoo import quick_cascade
+
+#: explicit accelerator acceptance bounds — what a CUDA/MPS namespace
+#: would be held to; the NumPy namespace must clear them trivially
+ACCEPTANCE = ToleranceSpec(
+    pixels=StageBound(atol=1e-3, rtol=1e-6),
+    integrals=StageBound(atol=1e-2, rtol=1e-9),
+    maps=StageBound(atol=1e-6, rtol=1e-9),
+    depth_mismatch_fraction=0.0,
+    iou_min=0.99,
+    score_delta=1e-6,
+)
+
+
+@pytest.fixture(scope="module")
+def cascade():
+    return quick_cascade(seed=0)
+
+
+@pytest.fixture(scope="module")
+def scene_frame():
+    frame, _ = render_scene(320, 240, faces=3, rng=rng_for(0, "oracle-scene"))
+    return frame
+
+
+@pytest.fixture(scope="module")
+def trailer_frame():
+    frame, _ = next(trailer_frames("50/50", 192, 144, n_frames=1, seed=3))
+    return frame
+
+
+def _assert_tolerance_pass(report):
+    assert report.mode == "tolerance"
+    assert report.tolerance is ACCEPTANCE
+    assert report.identical, "\n".join(report.mismatches[:20])
+
+
+def test_capability_record():
+    backend = ArrayApiBackend()
+    caps = backend.capabilities
+    assert caps.device == "cpu"
+    assert caps.exactness == "tolerance"
+    assert not caps.device_bound
+    assert backend.api == "numpy"
+
+
+def test_synthetic_scene_within_tolerance(cascade, scene_frame):
+    report = compare_backends(
+        [scene_frame],
+        cascade,
+        backends=("reference", "arrayapi"),
+        tolerance=ACCEPTANCE,
+    )
+    assert report.backends == ("reference", "arrayapi")
+    _assert_tolerance_pass(report)
+
+
+def test_trailer_frame_within_tolerance(cascade, trailer_frame):
+    report = compare_backends(
+        [trailer_frame],
+        cascade,
+        backends=("reference", "arrayapi"),
+        tolerance=ACCEPTANCE,
+    )
+    _assert_tolerance_pass(report)
+
+
+def test_multi_frame_stream_within_tolerance(cascade):
+    frames = [
+        render_scene(128, 96, faces=1, rng=rng_for(0, "oracle-stream", i))[0]
+        for i in range(3)
+    ]
+    report = compare_backends(
+        frames,
+        cascade,
+        backends=("reference", "arrayapi"),
+        tolerance=ACCEPTANCE,
+    )
+    assert report.frames == 3
+    _assert_tolerance_pass(report)
+
+
+def test_tolerance_gate_is_automatic(cascade, scene_frame):
+    # no explicit tolerance: the arrayapi capability record alone must
+    # flip the differ from the byte gate to the tolerance gate
+    report = compare_backends(
+        [scene_frame], cascade, backends=("reference", "arrayapi")
+    )
+    assert report.mode == "tolerance"
+    assert report.tolerance == ToleranceSpec()
+    assert report.identical, "\n".join(report.mismatches[:20])
+
+
+def test_bitexact_pair_keeps_byte_gate(cascade, scene_frame):
+    report = compare_backends([scene_frame], cascade)
+    assert report.backends == ("reference", "vectorized")
+    assert report.mode == "bitexact"
+    assert report.tolerance is None
+    assert report.identical, "\n".join(report.mismatches[:20])
+
+
+def test_explicit_tolerance_forces_gate_on_bitexact_pair(cascade, scene_frame):
+    report = compare_backends(
+        [scene_frame], cascade, tolerance=ToleranceSpec()
+    )
+    assert report.mode == "tolerance"
+    assert report.identical, "\n".join(report.mismatches[:20])

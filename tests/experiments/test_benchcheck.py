@@ -130,6 +130,41 @@ class TestBaselineChecks:
         report = check_artifact(path, baselines_dir=bdir)
         assert any("absent from artifact" in f for f in report.failures)
 
+    def test_exists_check_passes_on_present_path(self, tmp_path):
+        path = _write(tmp_path, "a.json", _fastpath_payload())
+        bdir = self._baseline_dir(
+            tmp_path, [{"path": "provenance.backend", "exists": True}]
+        )
+        report = check_artifact(path, baselines_dir=bdir)
+        assert report.ok, report.failures
+
+    def test_exists_check_fails_on_absent_path(self, tmp_path):
+        path = _write(tmp_path, "a.json", _fastpath_payload())
+        bdir = self._baseline_dir(
+            tmp_path, [{"path": "provenance.device", "exists": True}]
+        )
+        report = check_artifact(path, baselines_dir=bdir)
+        assert any("expected path to be present" in f for f in report.failures)
+
+    def test_exists_false_rejects_present_path(self, tmp_path):
+        path = _write(tmp_path, "a.json", _fastpath_payload())
+        bdir = self._baseline_dir(tmp_path, [{"path": "recall", "exists": False}])
+        report = check_artifact(path, baselines_dir=bdir)
+        assert any("expected path to be absent" in f for f in report.failures)
+
+    def test_exists_accepts_null_values(self, tmp_path):
+        # "exists" is a presence check, not a truthiness check: a field
+        # legitimately published as null (probe path on an unknown host)
+        # must satisfy it
+        payload = _fastpath_payload()
+        payload["provenance"]["probe"] = None
+        path = _write(tmp_path, "a.json", payload)
+        bdir = self._baseline_dir(
+            tmp_path, [{"path": "provenance.probe", "exists": True}]
+        )
+        report = check_artifact(path, baselines_dir=bdir)
+        assert report.ok, report.failures
+
     def test_checked_in_baselines_cover_known_experiments(self):
         """The repo's own baselines must parse and target known
         experiments with well-formed checks."""
@@ -140,7 +175,7 @@ class TestBaselineChecks:
             assert baseline["experiment"] in REQUIRED_KEYS
             for check in baseline["checks"]:
                 assert "path" in check
-                assert {"equals", "min", "max"} & set(check)
+                assert {"equals", "min", "max", "exists"} & set(check)
 
 
 class TestRunBenchCheck:

@@ -35,8 +35,8 @@ def test_triggers(workflow):
 
 def test_jobs_present(workflow):
     assert {
-        "lint", "test", "test-vectorized", "test-processes", "test-fastpath",
-        "bench", "serve-smoke",
+        "lint", "test", "test-vectorized", "test-arrayapi", "test-processes",
+        "test-fastpath", "bench", "serve-smoke",
     } <= set(workflow["jobs"])
 
 
@@ -73,6 +73,13 @@ def test_vectorized_backend_job(workflow):
     """The tier-1 suite must also run once under REPRO_BACKEND=vectorized."""
     text = _steps_text(workflow["jobs"]["test-vectorized"])
     assert "REPRO_BACKEND=vectorized" in text
+    assert "PYTHONPATH=src python -m pytest -x -q" in text
+
+
+def test_arrayapi_backend_job(workflow):
+    """The tier-1 suite must also run once under REPRO_BACKEND=arrayapi."""
+    text = _steps_text(workflow["jobs"]["test-arrayapi"])
+    assert "REPRO_BACKEND=arrayapi" in text
     assert "PYTHONPATH=src python -m pytest -x -q" in text
 
 
@@ -115,6 +122,7 @@ def test_bench_artifacts_are_checked(workflow):
         "BENCH_throughput.json",
         "BENCH_throughput-vectorized.json",
         "BENCH_throughput-processes.json",
+        "BENCH_throughput-arrayapi.json",
     ):
         assert artifact in bench
     serve = _steps_text(workflow["jobs"]["serve-smoke"])
@@ -144,8 +152,8 @@ def test_serve_smoke_always_drains_the_server(workflow):
 
 def test_pip_caching(workflow):
     for name in (
-        "lint", "test", "test-vectorized", "test-processes", "test-fastpath",
-        "bench", "serve-smoke",
+        "lint", "test", "test-vectorized", "test-arrayapi", "test-processes",
+        "test-fastpath", "bench", "serve-smoke",
     ):
         setup = next(
             step
@@ -181,10 +189,19 @@ def test_bench_job_smoke_and_artifact(workflow):
         uploads["BENCH_throughput-processes"]["path"]
         == "BENCH_throughput-processes.json"
     )
+    # the arrayapi smoke drives the CLI directly, exercising the
+    # --backend/--device surface and the schema-v4 provenance fields
+    assert "--backend arrayapi" in text
+    assert "--device list" in text
+    assert (
+        uploads["BENCH_throughput-arrayapi"]["path"]
+        == "BENCH_throughput-arrayapi.json"
+    )
     for name in (
         "BENCH_throughput-reference",
         "BENCH_throughput-vectorized",
         "BENCH_throughput-processes",
+        "BENCH_throughput-arrayapi",
     ):
         assert uploads[name].get("if-no-files-found") == "error"
 
