@@ -142,6 +142,42 @@ class ArrayApiBilinearPlan(BilinearPlan):
         self._fy = xp.asarray(fy[:, np.newaxis])
         self._omfy = xp.asarray((1.0 - fy).astype(np.float32)[:, np.newaxis])
 
+    def apply_batch(self, srcs: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Fused resample of an ``(n, src_h, src_w)`` stack — one upload.
+
+        The stack crosses the host->device boundary in a single
+        ``asarray`` and every corner is gathered through one flat
+        ``take`` with per-frame plane offsets, so the transfer and
+        dispatch cost is paid once per batch instead of once per frame.
+        """
+        b = self._b
+        xp = b._xp
+        dh, dw = self._shape
+        srcs = np.asarray(srcs)
+        n = srcs.shape[0]
+        plane = srcs.shape[1] * srcs.shape[2]
+        stack = b._astype(xp.asarray(srcs), xp.float32)
+        flat = xp.reshape(stack, (-1,))
+        bases = xp.reshape(
+            b._astype(xp.arange(n), self._i00.dtype) * plane, (n, 1)
+        )
+
+        def gather(idx):
+            full = xp.reshape(idx, (1, -1)) + bases
+            return xp.reshape(xp.take(flat, xp.reshape(full, (-1,))), (n, dh, dw))
+
+        g00 = gather(self._i00)
+        g01 = gather(self._i01)
+        g10 = gather(self._i10)
+        g11 = gather(self._i11)
+        top = g00 * self._omfx + g01 * self._fx
+        bottom = g10 * self._omfx + g11 * self._fx
+        result = b._to_host(top * self._omfy + bottom * self._fy)
+        if out is None:
+            return result
+        out[...] = result
+        return out
+
     def apply(self, src: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         b = self._b
         xp = b._xp
@@ -186,6 +222,25 @@ class ArrayApiIntegralPlan(IntegralPlan):
         sq = img * img
         self._sqii[1:, 1:] = b._to_host(b._cumsum(b._cumsum(sq, 0), 1))
         return self._ii, self._sqii
+
+    def compute_batch(self, images: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Fused integrals of an ``(n, h, w)`` stack — one upload, one scan.
+
+        Cumulative sums run lane-independently along the stacked axes,
+        so each lane matches :meth:`compute`; the stacks come back in
+        freshly allocated host arrays (they outlive the next call).
+        """
+        b = self._b
+        xp = b._xp
+        images = np.asarray(images)
+        n = images.shape[0]
+        iis = np.zeros((n, self.height + 1, self.width + 1), dtype=np.float64)
+        sqiis = np.zeros_like(iis)
+        img = b._astype(xp.asarray(images), xp.float64)
+        iis[:, 1:, 1:] = b._to_host(b._cumsum(b._cumsum(img, 1), 2))
+        sq = img * img
+        sqiis[:, 1:, 1:] = b._to_host(b._cumsum(b._cumsum(sq, 1), 2))
+        return iis, sqiis
 
 
 class ArrayApiCascadeEvaluator(CascadeEvaluator):
@@ -267,6 +322,127 @@ class ArrayApiCascadeEvaluator(CascadeEvaluator):
             margin_map=b._astype_host(margin, np.float64),
             sigma_map=b._astype_host(sigma, np.float64),
         )
+
+    def evaluate_batch(self, iis: np.ndarray, sqiis: np.ndarray) -> list[CascadeMaps]:
+        """Fused cascade walk over N same-geometry frames — one upload each.
+
+        The stacked integrals cross the host->device boundary once; dense
+        stages run elementwise over the ``(n, ay, ax)`` stack and sparse
+        stages gather every frame's survivors through one flattened view
+        with per-frame plane offsets.  The dense->sparse switch is taken
+        once for the whole batch (the switch point is bit-neutral by the
+        seam contract, so per-frame results still agree with solo
+        :meth:`evaluate` to within this backend's tolerance envelope —
+        exactly, on the NumPy namespace).
+        """
+        b = self._b
+        xp = b._xp
+        iis = np.ascontiguousarray(iis)
+        n = iis.shape[0]
+        if n == 1:
+            return [self.evaluate(iis[0], sqiis[0])]
+        ay, ax = self._ay, self._ax
+        ii_d = xp.asarray(iis)
+        sqii_d = xp.asarray(np.asarray(sqiis))
+        w = self._window
+        area = WINDOW_AREA
+        wsum = ((ii_d[:, w:, w:] - ii_d[:, :-w, w:]) - ii_d[:, w:, :-w]) + ii_d[:, :-w, :-w]
+        wsq = (
+            (sqii_d[:, w:, w:] - sqii_d[:, :-w, w:]) - sqii_d[:, w:, :-w]
+        ) + sqii_d[:, :-w, :-w]
+        mean = wsum / area
+        ga = wsq / area - mean * mean
+        sigma = xp.sqrt(b._clamp_min(ga, 1.0))
+
+        depth = xp.zeros((n, ay, ax), dtype=xp.int32)
+        margin = xp.zeros((n, ay, ax), dtype=xp.float64)
+        alive = xp.ones((n, ay, ax), dtype=b._bool)
+        sparse = None
+        total = n * ay * ax
+        plane = iis.shape[1] * iis.shape[2]
+        flat = xp.reshape(ii_d, (-1,))
+
+        for stage_idx, stage in enumerate(self._plan):
+            if sparse is None:
+                live = int(xp.count_nonzero(alive))
+                if live == 0:
+                    break
+                if live < max(64, self._sparse_threshold * total):
+                    sparse = b._nonzero(alive)
+            if sparse is not None:
+                sparse, depth, margin = self._sparse_stage_batch(
+                    stage_idx, stage, flat, plane, sigma, depth, margin, sparse
+                )
+                if sparse is None:
+                    break
+            else:
+                depth, margin, alive = self._dense_stage_batch(
+                    stage, ii_d, sigma, depth, margin, alive
+                )
+
+        depth_h = b._astype_host(depth, np.int32)
+        margin_h = b._astype_host(margin, np.float64)
+        sigma_h = b._astype_host(sigma, np.float64)
+        return [
+            CascadeMaps(
+                depth_map=depth_h[i], margin_map=margin_h[i], sigma_map=sigma_h[i]
+            )
+            for i in range(n)
+        ]
+
+    def _dense_stage_batch(self, stage, ii, sigma, depth, margin, alive):
+        xp = self._b._xp
+        ay, ax = self._ay, self._ax
+        n = int(ii.shape[0])
+        sums = xp.zeros((n, ay, ax), dtype=xp.float64)
+        for cl in stage.classifiers:
+            vals = xp.zeros((n, ay, ax), dtype=xp.float64)
+            for x0, y0, x1, y1, wt in cl.rects:
+                t = (
+                    ii[:, y1 : y1 + ay, x1 : x1 + ax]
+                    - ii[:, y0 : y0 + ay, x1 : x1 + ax]
+                )
+                t = t - ii[:, y1 : y1 + ay, x0 : x0 + ax]
+                t = t + ii[:, y0 : y0 + ay, x0 : x0 + ax]
+                vals = vals + t * wt
+            mask = vals <= sigma * cl.threshold
+            sums = sums + xp.where(mask, cl.left, cl.right)
+        margin = xp.where(alive, sums - stage.threshold, margin)
+        passed = xp.logical_and(alive, sums >= stage.threshold)
+        depth = xp.where(passed, depth + 1, depth)
+        return depth, margin, passed
+
+    def _sparse_stage_batch(
+        self, stage_idx, stage, flat, plane, sigma, depth, margin, sparse
+    ):
+        b = self._b
+        xp = b._xp
+        fs, ys, xs = sparse
+        if int(ys.shape[0]) == 0:
+            return None, depth, margin
+        offsets = self._flat_offsets[stage_idx]
+        ay, ax = self._ay, self._ax
+        sig = xp.take(xp.reshape(sigma, (-1,)), (fs * ay + ys) * ax + xs)
+        base = (fs * plane) + ys * self._stride + xs
+        n = int(ys.shape[0])
+        sums = xp.zeros(n, dtype=xp.float64)
+        for cl, (offs, weights) in zip(stage.classifiers, offsets):
+            idx = offs + base
+            corners = xp.reshape(xp.take(flat, xp.reshape(idx, (-1,))), idx.shape)
+            vals = xp.zeros(n, dtype=xp.float64)
+            for r, wt in enumerate(weights):
+                g = corners[r]
+                t = ((g[0] - g[1]) - g[2]) + g[3]
+                vals = vals + t * wt
+            mask = vals <= sig * cl.threshold
+            sums = sums + xp.where(mask, cl.left, cl.right)
+        margin[fs, ys, xs] = sums - stage.threshold
+        mask = sums >= stage.threshold
+        fs_next = fs[mask]
+        ys_next = ys[mask]
+        xs_next = xs[mask]
+        depth[fs_next, ys_next, xs_next] = depth[fs_next, ys_next, xs_next] + 1
+        return (fs_next, ys_next, xs_next), depth, margin
 
     def _dense_stage(self, stage, ii, sigma, depth, margin, alive):
         xp = self._b._xp

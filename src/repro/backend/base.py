@@ -113,6 +113,24 @@ class BilinearPlan(ABC):
     def apply(self, src: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Resample ``src`` into a fresh (or provided) destination grid."""
 
+    def apply_batch(
+        self, srcs: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Resample a ``(n, src_h, src_w)`` stack into ``(n, dst_h, dst_w)``.
+
+        Every lane must match :meth:`apply` bit-for-bit — bilinear lerps
+        are per-pixel, so fusing lanes cannot change a byte.  The default
+        loops :meth:`apply` per lane (the per-frame oracle); fused
+        backends override with one stacked gather.
+        """
+        srcs = np.asarray(srcs)
+        planes = [self.apply(srcs[i]) for i in range(srcs.shape[0])]
+        stacked = np.stack(planes) if planes else srcs[:0]
+        if out is not None:
+            np.copyto(out, stacked)
+            return out
+        return stacked
+
 
 class IntegralPlan(ABC):
     """Reusable integral + squared-integral computation for one geometry.
@@ -133,6 +151,26 @@ class IntegralPlan(ABC):
     @abstractmethod
     def compute(self, image: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """``(ii, sqii)`` padded integral images of ``image``."""
+
+    def compute_batch(self, images: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(iis, sqiis)`` stacked padded integrals of ``(n, h, w)`` images.
+
+        Returned arrays are ``(n, h+1, w+1)`` float64 and — unlike the
+        plan-owned single-frame buffers — freshly allocated, so lanes
+        survive the next call.  Cumulative sums run independently per
+        lane, so each lane matches :meth:`compute` bit-for-bit.  The
+        default loops :meth:`compute` and copies each lane out; fused
+        backends override with one stacked scan.
+        """
+        images = np.asarray(images)
+        n = images.shape[0]
+        iis = np.zeros((n, self.height + 1, self.width + 1), dtype=np.float64)
+        sqiis = np.zeros_like(iis)
+        for i in range(n):
+            ii, sqii = self.compute(images[i])
+            iis[i] = ii
+            sqiis[i] = sqii
+        return iis, sqiis
 
 
 @dataclass
@@ -155,6 +193,22 @@ class CascadeEvaluator(ABC):
     @abstractmethod
     def evaluate(self, ii: np.ndarray, sqii: np.ndarray) -> CascadeMaps:
         """Walk every anchor through the cascade (padded integrals in)."""
+
+    def evaluate_batch(
+        self, iis: np.ndarray, sqiis: np.ndarray
+    ) -> list[CascadeMaps]:
+        """Evaluate N same-geometry frames; one :class:`CascadeMaps` each.
+
+        Per-frame results must match :meth:`evaluate` bit-for-bit.  The
+        dense->sparse switch point is an execution-strategy knob (see
+        :meth:`ComputeBackend.make_cascade_evaluator`): fused backends
+        may take one batch-level switch decision without changing a
+        byte.  The default loops :meth:`evaluate` per frame — the
+        per-frame oracle the fused paths are validated against.
+        """
+        return [
+            self.evaluate(iis[i], sqiis[i]) for i in range(np.asarray(iis).shape[0])
+        ]
 
     def window_sigma(self, ii: np.ndarray, sqii: np.ndarray) -> np.ndarray:
         """Per-anchor window pixel std dev — the :meth:`evaluate` preamble

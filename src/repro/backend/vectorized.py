@@ -23,14 +23,19 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.backend.base import WINDOW_AREA, CascadeMaps
 from repro.backend.reference import (
     ReferenceBackend,
+    ReferenceBilinearPlan,
     ReferenceCascadeEvaluator,
+    ReferenceIntegralPlan,
     flat_offsets,
 )
 
 __all__ = [
     "VEC_SPARSE_THRESHOLD",
+    "VectorizedBilinearPlan",
+    "VectorizedIntegralPlan",
     "VectorizedCascadeEvaluator",
     "VectorizedBackend",
 ]
@@ -103,6 +108,61 @@ def _build_batches(plan, stride: int, nmax: int) -> tuple[tuple[_RectGroup, ...]
     return tuple(batches)
 
 
+class VectorizedBilinearPlan(ReferenceBilinearPlan):
+    """Reference bilinear gather, plus a fused multi-frame batch path.
+
+    ``apply_batch`` resamples all N frames with one stacked gather per
+    corner: the lerp is per-pixel, so every lane is bit-identical to
+    :meth:`apply` on that frame alone.
+    """
+
+    def apply_batch(self, srcs: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        srcs = np.asarray(srcs, dtype=np.float32)
+        rows0 = np.take(srcs, self.y0, axis=1)
+        rows1 = np.take(srcs, self.y1, axis=1)
+        g00 = np.take(rows0, self.x0, axis=2)
+        g01 = np.take(rows0, self.x1, axis=2)
+        g10 = np.take(rows1, self.x0, axis=2)
+        g11 = np.take(rows1, self.x1, axis=2)
+        # same op order as apply(): top/bottom lerps then the row lerp
+        np.multiply(g00, self.omfx, out=g00)
+        np.multiply(g01, self.fx, out=g01)
+        np.add(g00, g01, out=g00)
+        np.multiply(g10, self.omfx, out=g10)
+        np.multiply(g11, self.fx, out=g11)
+        np.add(g10, g11, out=g10)
+        np.multiply(g00, self.omfy, out=g00)
+        np.multiply(g10, self.fy, out=g10)
+        if out is None:
+            return np.add(g00, g10)
+        np.add(g00, g10, out=out)
+        return out
+
+
+class VectorizedIntegralPlan(ReferenceIntegralPlan):
+    """Reference integrals, plus one fused scan over an (n, h, w) stack.
+
+    ``cumsum`` runs independently along each lane of the stacked axis,
+    so every lane equals the per-frame :meth:`compute` bit-for-bit.  The
+    returned stacks are freshly allocated (they outlive the next call),
+    unlike the plan-owned single-frame buffers.
+    """
+
+    def compute_batch(self, images: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        images = np.asarray(images)
+        n = images.shape[0]
+        iis = np.zeros((n, self.height + 1, self.width + 1), dtype=np.float64)
+        sqiis = np.zeros_like(iis)
+        img64 = images.astype(np.float64)
+        np.cumsum(img64, axis=1, out=img64)
+        np.cumsum(img64, axis=2, out=iis[:, 1:, 1:])
+        sq64 = np.asarray(images, dtype=np.float64)
+        np.multiply(sq64, sq64, out=sq64)
+        np.cumsum(sq64, axis=1, out=sq64)
+        np.cumsum(sq64, axis=2, out=sqiis[:, 1:, 1:])
+        return iis, sqiis
+
+
 class VectorizedCascadeEvaluator(ReferenceCascadeEvaluator):
     """Reference evaluation with batched sparse gathers (see module doc)."""
 
@@ -156,11 +216,162 @@ class VectorizedCascadeEvaluator(ReferenceCascadeEvaluator):
         depth[ys_next, xs_next] += 1
         return ys_next, xs_next
 
+    # -- fused multi-frame evaluation ---------------------------------------
+    #
+    # One walk over the cascade for N same-geometry frames: dense stages
+    # are elementwise over the (n, ay, ax) stack, sparse stages gather
+    # survivors of every frame through one flattened view of the stacked
+    # integrals.  The only cross-frame coupling is the dense->sparse
+    # switch decision, which is taken once for the whole batch — and the
+    # switch point is bit-neutral by contract, so every lane still
+    # matches a solo :meth:`evaluate` bit-for-bit.
+
+    def evaluate_batch(self, iis: np.ndarray, sqiis: np.ndarray) -> list[CascadeMaps]:
+        iis = np.ascontiguousarray(iis)
+        sqiis = np.asarray(sqiis)
+        n = iis.shape[0]
+        if n == 1:
+            maps = self.evaluate(iis[0], sqiis[0])
+            return [maps]
+        ay, ax = self._ay, self._ax
+        sigma = self._window_sigma_batch(iis, sqiis)
+
+        depth = np.zeros((n, ay, ax), dtype=np.int32)
+        margin = np.zeros((n, ay, ax), dtype=np.float64)
+        alive = np.ones((n, ay, ax), dtype=bool)
+        passed = np.empty((n, ay, ax), dtype=bool)
+        sparse: tuple[np.ndarray, ...] | None = None
+        total = n * ay * ax
+        plane = iis.shape[1] * iis.shape[2]
+        flat = iis.reshape(-1)
+
+        for stage_idx, stage in enumerate(self._plan):
+            if sparse is None:
+                live = int(alive.sum())
+                if live == 0:
+                    break
+                if live < max(64, self._sparse_threshold * total):
+                    sparse = np.nonzero(alive)
+            if sparse is not None:
+                sparse = self._sparse_stage_batch(
+                    stage_idx, stage, flat, plane, sigma, depth, margin, sparse
+                )
+                if sparse is None:
+                    break
+            else:
+                self._dense_stage_batch(stage, iis, sigma, depth, margin, alive, passed)
+                alive, passed = passed, alive
+
+        return [
+            CascadeMaps(depth_map=depth[i], margin_map=margin[i], sigma_map=sigma[i])
+            for i in range(n)
+        ]
+
+    def _window_sigma_batch(self, iis: np.ndarray, sqiis: np.ndarray) -> np.ndarray:
+        """:meth:`window_sigma` over a frame stack, same op order per lane."""
+        w = self._window
+        area = WINDOW_AREA
+        wsum = np.subtract(iis[:, w:, w:], iis[:, :-w, w:])
+        np.subtract(wsum, iis[:, w:, :-w], out=wsum)
+        np.add(wsum, iis[:, :-w, :-w], out=wsum)
+        wsq = np.subtract(sqiis[:, w:, w:], sqiis[:, :-w, w:])
+        np.subtract(wsq, sqiis[:, w:, :-w], out=wsq)
+        np.add(wsq, sqiis[:, :-w, :-w], out=wsq)
+        mean = np.divide(wsum, area)
+        ga = np.divide(wsq, area)
+        np.multiply(mean, mean, out=mean)
+        np.subtract(ga, mean, out=ga)
+        np.maximum(ga, 1.0, out=ga)
+        return np.sqrt(ga)
+
+    def _dense_stage_batch(self, stage, iis, sigma, depth, margin, alive, passed) -> None:
+        ay, ax = self._ay, self._ax
+        n = iis.shape[0]
+        sums = np.zeros((n, ay, ax), dtype=np.float64)
+        vals = np.empty((n, ay, ax), dtype=np.float64)
+        tmp = np.empty((n, ay, ax), dtype=np.float64)
+        ts = np.empty((n, ay, ax), dtype=np.float64)
+        wbuf = np.empty((n, ay, ax), dtype=np.float64)
+        mask = np.empty((n, ay, ax), dtype=bool)
+        for cl in stage.classifiers:
+            vals.fill(0.0)
+            for x0, y0, x1, y1, wt in cl.rects:
+                np.subtract(
+                    iis[:, y1 : y1 + ay, x1 : x1 + ax],
+                    iis[:, y0 : y0 + ay, x1 : x1 + ax],
+                    out=tmp,
+                )
+                np.subtract(tmp, iis[:, y1 : y1 + ay, x0 : x0 + ax], out=tmp)
+                np.add(tmp, iis[:, y0 : y0 + ay, x0 : x0 + ax], out=tmp)
+                np.multiply(tmp, wt, out=tmp)
+                np.add(vals, tmp, out=vals)
+            np.multiply(sigma, cl.threshold, out=ts)
+            np.less_equal(vals, ts, out=mask)
+            np.copyto(wbuf, cl.right)
+            np.copyto(wbuf, cl.left, where=mask)
+            np.add(sums, wbuf, out=sums)
+        np.subtract(sums, stage.threshold, out=tmp)
+        margin[alive] = tmp[alive]
+        np.greater_equal(sums, stage.threshold, out=mask)
+        np.logical_and(alive, mask, out=passed)
+        depth[passed] += 1
+
+    def _sparse_stage_batch(
+        self, stage_idx, stage, flat, plane, sigma, depth, margin, sparse
+    ):
+        fs, ys, xs = sparse
+        if ys.size == 0:
+            return None
+        n = ys.size
+        sig = sigma[fs, ys, xs]
+        # flat index into the stacked integrals: frame plane, then row, col
+        base = np.multiply(fs, plane)
+        t1 = np.multiply(ys, self._stride)
+        np.add(base, t1, out=base)
+        np.add(base, xs, out=base)
+        sums = np.zeros(n, dtype=np.float64)
+        vals = np.empty(n, dtype=np.float64)
+        t1 = np.empty(n, dtype=np.float64)
+        ts = np.empty(n, dtype=np.float64)
+        wv = np.empty(n, dtype=np.float64)
+        mask = np.empty(n, dtype=bool)
+        for group in self._batches[stage_idx]:
+            corners = flat.take(group.offs + base)
+            rv = np.subtract(corners[:, 0, :], corners[:, 1, :])
+            np.subtract(rv, corners[:, 2, :], out=rv)
+            np.add(rv, corners[:, 3, :], out=rv)
+            np.multiply(rv, group.weights, out=rv)
+            for start, end, threshold, left, right in group.classifiers:
+                vals.fill(0.0)
+                for r in range(start, end):
+                    np.add(vals, rv[r], out=vals)
+                np.multiply(sig, threshold, out=ts)
+                np.less_equal(vals, ts, out=mask)
+                np.copyto(wv, right)
+                np.copyto(wv, left, where=mask)
+                np.add(sums, wv, out=sums)
+        np.subtract(sums, stage.threshold, out=t1)
+        margin[fs, ys, xs] = t1
+        np.greater_equal(sums, stage.threshold, out=mask)
+        fs_next = fs[mask]
+        ys_next = ys[mask]
+        xs_next = xs[mask]
+        depth[fs_next, ys_next, xs_next] += 1
+        return fs_next, ys_next, xs_next
+
 
 class VectorizedBackend(ReferenceBackend):
     """Same pyramid/integral primitives, batched cascade evaluation."""
 
     name = "vectorized"
+
+    def make_bilinear_plan(
+        self, src_h: int, src_w: int, dst_h: int, dst_w: int
+    ) -> VectorizedBilinearPlan:
+        return VectorizedBilinearPlan(src_h, src_w, dst_h, dst_w)
+
+    def make_integral_plan(self, height: int, width: int) -> VectorizedIntegralPlan:
+        return VectorizedIntegralPlan(height, width)
 
     def make_cascade_evaluator(
         self, cascade, mapping, *, sparse_threshold: float | None = None

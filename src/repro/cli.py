@@ -171,6 +171,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_serving(args)
     if args.experiment == "fastpath":
         return _cmd_bench_fastpath(args)
+    if args.experiment == "devicebatch":
+        return _cmd_bench_devicebatch(args)
     if args.experiment == "check":
         return _cmd_bench_check(args)
     profile = active_profile()
@@ -186,7 +188,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.experiment not in drivers:
         print(
             f"unknown experiment {args.experiment!r}; choose from "
-            f"{sorted(drivers) + ['check', 'fastpath', 'serving', 'throughput']}"
+            f"{sorted(drivers) + ['check', 'devicebatch', 'fastpath', 'serving', 'throughput']}"
         )
         return 2
     print(drivers[args.experiment]())
@@ -242,6 +244,42 @@ def _cmd_bench_fastpath(args: argparse.Namespace) -> int:
     output = args.output
     if output == "BENCH_throughput.json":
         output = "BENCH_fastpath.json"
+    path = result.write_json(output)
+    print(f"benchmark artifact -> {path}")
+    return 0
+
+
+def _cmd_bench_devicebatch(args: argparse.Namespace) -> int:
+    from repro.experiments.devicebatch import run_devicebatch
+
+    # the shared bench flags default to the throughput workload; untouched
+    # values fall back to the device-batch defaults (96x96 trailer frames,
+    # enough of them that every width forms full batches)
+    width = 96 if args.width == 480 else args.width
+    height = 96 if args.height == 270 else args.height
+    frames = 48 if args.frames == 10 else args.frames
+    cascade = "quick" if args.cascade == "paper" else args.cascade
+    backend = args.backend if args.backend is not None else "vectorized"
+    try:
+        batch_sizes = tuple(int(b) for b in args.batch_sizes.split(","))
+    except ValueError:
+        print(f"--batch-sizes must be comma-separated integers, got {args.batch_sizes!r}")
+        return 2
+    result = run_devicebatch(
+        trailer=args.trailer,
+        frames=frames,
+        width=width,
+        height=height,
+        batch_sizes=batch_sizes,
+        trials=args.trials,
+        warmup=args.warmup,
+        cascade=cascade,
+        backend=backend,
+    )
+    print(result.format_table())
+    output = args.output
+    if output == "BENCH_throughput.json":
+        output = "BENCH_devicebatch.json"
     path = result.write_json(output)
     print(f"benchmark artifact -> {path}")
     return 0
@@ -304,6 +342,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         sharding=args.mode,
         max_batch=args.max_batch,
         max_delay_s=args.max_delay_ms / 1e3,
+        device_batch=args.device_batch,
         fastpath=args.fastpath,
         admission=AdmissionConfig(
             max_queue=args.max_queue,
@@ -511,7 +550,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "experiment",
         help="table1|table2|fig5|fig6|fig7|fig8|fig9|throughput|serving|"
-        "fastpath|check",
+        "fastpath|devicebatch|check",
     )
     p.add_argument(
         "files",
@@ -593,6 +632,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=4.0,
         help="variance screen threshold (fastpath)",
+    )
+    p.add_argument(
+        "--batch-sizes",
+        default="1,4,8,16",
+        help="comma-separated device-batch widths to sweep; must include "
+        "1, the per-frame baseline (devicebatch)",
     )
     p.add_argument(
         "--baselines",
@@ -686,6 +731,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=5.0,
         help="longest a lone request waits for batch company",
+    )
+    p.add_argument(
+        "--device-batch",
+        action="store_true",
+        help="fuse each micro-batch into one device batch: same-shaped "
+        "frames share one launch set and one host<->device crossing "
+        "per transfer site (detections stay byte-identical)",
     )
     p.add_argument(
         "--fastpath",

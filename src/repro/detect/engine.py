@@ -85,6 +85,7 @@ from repro.detect.shard import (
     init_worker,
     probe_shard,
     process_shard,
+    process_shard_batch,
 )
 from repro.detect.windows import BlockMapping
 from repro.errors import ConfigurationError, WorkerCrashError
@@ -745,6 +746,28 @@ def _as_luma(frame) -> np.ndarray:
     return np.asarray(luma)
 
 
+def _iter_groups(frames: Iterable, max_batch: int) -> Iterator[tuple[int, list[np.ndarray]]]:
+    """Yield ``(start_index, lumas)`` runs of consecutive same-shaped frames.
+
+    The streaming form of :meth:`~repro.detect.devicebatch.BatchPlan.plan`:
+    groups never reorder frames (FIFO output depends on it), never mix
+    frame shapes (fused kernels need congruent pyramids) and never exceed
+    ``max_batch`` frames.
+    """
+    buf: list[np.ndarray] = []
+    start = 0
+    for index, frame in enumerate(frames):
+        luma = np.asarray(_as_luma(frame))
+        if buf and (luma.shape != buf[0].shape or len(buf) >= max_batch):
+            yield start, buf
+            buf = []
+        if not buf:
+            start = index
+        buf.append(luma)
+    if buf:
+        yield start, buf
+
+
 def _bridge_frame_metrics(metrics: MetricsRegistry, result: FrameResult) -> None:
     """Bridge one frame's simulated-layer statistics into the registry.
 
@@ -752,6 +775,35 @@ def _bridge_frame_metrics(metrics: MetricsRegistry, result: FrameResult) -> None
     rate; the schedule's :class:`~repro.gpusim.counters.PerfCounters`
     feed the branch counters the paper's Section VI-A quotes.
     """
+    _bridge_cascade_metrics(metrics, result)
+    _bridge_schedule_metrics(metrics, result.schedule)
+
+
+def _bridge_batch_metrics(metrics: MetricsRegistry, results: list[FrameResult]) -> None:
+    """Bridge one device batch's results without double-counting.
+
+    Cascade and fast-path statistics are genuinely per frame; the fused
+    :class:`~repro.gpusim.scheduler.ScheduleResult` is shared by every
+    frame of the batch, so its ``sim.*`` counters land once per distinct
+    schedule object.
+    """
+    seen: set[int] = set()
+    for result in results:
+        _bridge_cascade_metrics(metrics, result)
+        key = id(result.schedule)
+        if key not in seen:
+            seen.add(key)
+            _bridge_schedule_metrics(metrics, result.schedule)
+
+
+def _bridge_schedule_metrics(metrics: MetricsRegistry, schedule) -> None:
+    metrics.counter("sim.kernels").inc(len(schedule.timeline.traces))
+    metrics.counter("sim.device_seconds").inc(schedule.makespan_s)
+    metrics.counter("sim.branches").inc(schedule.total.branches)
+    metrics.counter("sim.divergent_branches").inc(schedule.total.divergent_branches)
+
+
+def _bridge_cascade_metrics(metrics: MetricsRegistry, result: FrameResult) -> None:
     anchors = 0
     rejected_stage1 = 0
     for kr in result.kernel_results:
@@ -760,10 +812,6 @@ def _bridge_frame_metrics(metrics: MetricsRegistry, result: FrameResult) -> None
         rejected_stage1 += int(hist[0])
     metrics.counter("cascade.anchors").inc(anchors)
     metrics.counter("cascade.anchors_rejected_stage1").inc(rejected_stage1)
-    metrics.counter("sim.kernels").inc(len(result.schedule.timeline.traces))
-    metrics.counter("sim.device_seconds").inc(result.schedule.makespan_s)
-    metrics.counter("sim.branches").inc(result.schedule.total.branches)
-    metrics.counter("sim.divergent_branches").inc(result.schedule.total.divergent_branches)
     fp = result.fastpath
     if fp is not None:
         metrics.counter("fastpath.frames").inc()
@@ -793,7 +841,11 @@ def batch_report(results: Iterable[FrameResult], wall_s: float | None = None) ->
     """Aggregate per-frame results into a :class:`BatchReport`.
 
     Sums every level's Fig. 7 rejection histogram on top of the schedule
-    aggregation done by :meth:`BatchReport.from_schedules`.
+    aggregation done by :meth:`BatchReport.from_schedules`.  Frames that
+    rode one fused device batch (``result.device_batch`` set) share a
+    single fused schedule — it is aggregated once, not once per frame;
+    per-frame schedules (including fast-path replays of a cached
+    schedule) keep their one-entry-per-frame accounting.
     """
     results = list(results)
     rejections: np.ndarray | None = None
@@ -804,8 +856,17 @@ def batch_report(results: Iterable[FrameResult], wall_s: float | None = None) ->
                 rejections = hist.copy()
             elif hist.shape == rejections.shape:
                 rejections += hist
+    schedules = []
+    seen_fused: set[int] = set()
+    for frame in results:
+        if frame.device_batch is not None:
+            key = id(frame.schedule)
+            if key in seen_fused:
+                continue
+            seen_fused.add(key)
+        schedules.append(frame.schedule)
     return BatchReport.from_schedules(
-        [frame.schedule for frame in results],
+        schedules,
         rejections_by_depth=rejections,
         wall_s=wall_s,
     )
@@ -866,6 +927,8 @@ class DetectionEngine:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         fastpath_stream: str | None = "default",
+        batch_across_frames: bool = False,
+        device_batch: int | None = None,
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
@@ -873,6 +936,8 @@ class DetectionEngine:
             raise ConfigurationError(f"workers must be >= 0, got {workers}")
         if queue_depth < 0:
             raise ConfigurationError(f"queue_depth must be >= 0, got {queue_depth}")
+        if device_batch is not None and device_batch < 1:
+            raise ConfigurationError(f"device_batch must be >= 1, got {device_batch}")
         self._pipeline = pipeline
         self._workers = workers
         self._queue_depth = queue_depth
@@ -892,6 +957,8 @@ class DetectionEngine:
         #: disables temporal reuse (what the serving layer passes, since
         #: its frames come from many unrelated clients)
         self._fastpath_stream = fastpath_stream
+        self._batch = bool(batch_across_frames)
+        self._device_batch = device_batch
         self._tracer = tracer if tracer is not None else pipeline.tracer
         self._metrics = metrics
         self._free: list[FrameWorkspace] = []
@@ -937,7 +1004,27 @@ class DetectionEngine:
 
     @property
     def max_in_flight(self) -> int:
-        """Upper bound on simultaneously materialised frames."""
+        """Upper bound on simultaneously materialised frames.
+
+        With ``batch_across_frames`` and an explicit ``device_batch``,
+        the window widens to at least one full device batch — batch
+        formation must be able to materialise the frames it fuses.
+        """
+        base = max(self._workers, 1) + self._queue_depth
+        if self._batch and self._device_batch is not None:
+            return max(base, self._device_batch)
+        return base
+
+    @property
+    def batch_across_frames(self) -> bool:
+        """Whether in-flight frames fuse into device batches."""
+        return self._batch
+
+    @property
+    def device_batch(self) -> int:
+        """Frames fused per device batch (defaults to the in-flight window)."""
+        if self._device_batch is not None:
+            return self._device_batch
         return max(self._workers, 1) + self._queue_depth
 
     # -- process-sharding lifecycle -----------------------------------------
@@ -991,6 +1078,7 @@ class DetectionEngine:
                 tracing=self._tracer.enabled,
                 trace_origin=self._tracer.origin,
                 stream=self._fastpath_stream,
+                device_batch=self._batch,
             )
             self._pool = ProcessPoolExecutor(
                 max_workers=self._workers,
@@ -1057,6 +1145,10 @@ class DetectionEngine:
         with self._lock:
             if self._free:
                 return self._free.pop()
+        if self._batch:
+            return self._pipeline.make_batch_workspace(
+                tracer=self._tracer, stream=self._fastpath_stream
+            )
         return self._pipeline.make_workspace(
             tracer=self._tracer, stream=self._fastpath_stream
         )
@@ -1100,6 +1192,64 @@ class DetectionEngine:
         finally:
             self._release(workspace)
 
+    def _batch_job(
+        self,
+        index: int,
+        lumas: list[np.ndarray],
+        mode: ExecutionMode | None,
+        submit_ts: float | None = None,
+        trace: str | None = None,
+    ):
+        """Run one device batch on one worker; returns a ``BatchExecution``."""
+        metrics = self._metrics
+        if metrics is not None and submit_ts is not None:
+            metrics.histogram("engine.queue_wait_s").observe(time.perf_counter() - submit_ts)
+        workspace = self._checkout()
+        try:
+            start = time.perf_counter()
+            span_args = {"frame": index, "batch": len(lumas)}
+            if trace is not None:
+                span_args["trace"] = trace
+            with self._tracer.span("frame", cat="engine", **span_args):
+                execution = workspace.process_batch(lumas, mode)
+            worker = threading.current_thread().name
+            for result in execution.results:
+                result.worker = worker
+            if metrics is not None:
+                self._record_batch_metrics(
+                    metrics, execution, time.perf_counter() - start
+                )
+            return execution
+        finally:
+            self._release(workspace)
+
+    def _record_batch_metrics(
+        self, metrics: MetricsRegistry, execution, elapsed: float
+    ) -> None:
+        """Batch-aware metric accounting: amortised latencies, one schedule.
+
+        ``engine.frame_latency_s`` observes the *amortised* per-frame
+        time once per frame (so means and percentiles stay per-frame
+        quantities), ``engine.batch_size`` records the formation
+        distribution, and the transfer counters mirror the batch's
+        :class:`~repro.detect.devicebatch.TransferStats`.
+        """
+        n = len(execution.results)
+        per_frame = elapsed / max(n, 1)
+        latency = metrics.histogram("engine.frame_latency_s")
+        for _ in range(n):
+            latency.observe(per_frame)
+        metrics.counter("engine.frames").inc(n)
+        metrics.counter("engine.batched_frames").inc(n)
+        metrics.histogram("engine.batch_size").observe(n)
+        metrics.counter("engine.device_batches").inc()
+        if execution.fused:
+            metrics.counter("engine.device_batches_fused").inc()
+        transfers = execution.transfers
+        metrics.counter("engine.device_transfers").inc(transfers.h2d + transfers.d2h)
+        metrics.counter("engine.device_transfers_saved").inc(transfers.saved)
+        _bridge_batch_metrics(metrics, execution.results)
+
     def process_frames(
         self, frames: Iterable, mode: ExecutionMode | None = None
     ) -> Iterator[FrameResult]:
@@ -1108,9 +1258,21 @@ class DetectionEngine:
         Output order is the submission order by construction (a FIFO of
         futures), independent of which worker finishes first — under
         both thread and process sharding.
+
+        With ``batch_across_frames`` on, consecutive same-shaped frames
+        are fused into device batches of up to :attr:`device_batch`
+        frames first; ordering, backpressure (counted in frames, not
+        batches) and results are unchanged — detections are
+        byte-identical to the per-frame path on bitexact backends.
         """
         mode = mode or self._mode
         metrics = self._metrics
+        if self._batch:
+            if self._workers > 0 and self._sharding is ShardingMode.PROCESSES:
+                yield from self._frames_processes_batched(frames, mode)
+            else:
+                yield from self._frames_batched(frames, mode)
+            return
         if self._workers > 0 and self._sharding is ShardingMode.PROCESSES:
             yield from self._frames_processes(frames, mode)
             return
@@ -1171,6 +1333,136 @@ class DetectionEngine:
             # (no frame still running once the call is over) explicitly.
             while pending:
                 future = pending.popleft()
+                try:
+                    future.result()
+                except Exception:
+                    pass
+
+    # -- the device-batched paths -------------------------------------------
+
+    def _frames_batched(
+        self, frames: Iterable, mode: ExecutionMode | None
+    ) -> Iterator[FrameResult]:
+        """Inline / thread-sharded frame stream with device batching."""
+        metrics = self._metrics
+        batch_limit = self.device_batch
+        if self._workers == 0:
+            workspace = self._checkout()
+            try:
+                for start_index, lumas in _iter_groups(frames, batch_limit):
+                    start = time.perf_counter()
+                    with self._tracer.span(
+                        "frame", cat="engine", frame=start_index, batch=len(lumas)
+                    ):
+                        execution = workspace.process_batch(lumas, mode)
+                    if metrics is not None:
+                        self._record_batch_metrics(
+                            metrics, execution, time.perf_counter() - start
+                        )
+                    yield from execution.results
+            finally:
+                self._release(workspace)
+            return
+
+        limit = self.max_in_flight
+        in_flight = metrics.gauge("engine.in_flight") if metrics is not None else None
+        pool = self._ensure_thread_pool()
+        pending: deque[tuple[Future, int]] = deque()
+        frames_pending = 0
+
+        def emit() -> list[FrameResult]:
+            nonlocal frames_pending
+            future, count = pending.popleft()
+            execution = future.result()
+            frames_pending -= count
+            if in_flight is not None:
+                in_flight.set(frames_pending)
+            return execution.results
+
+        try:
+            for start_index, lumas in _iter_groups(frames, batch_limit):
+                submit_ts = time.perf_counter() if metrics is not None else None
+                future = pool.submit(
+                    self._batch_job, start_index, lumas, mode, submit_ts
+                )
+                pending.append((future, len(lumas)))
+                frames_pending += len(lumas)
+                if in_flight is not None:
+                    in_flight.set(frames_pending)
+                while pending and frames_pending >= limit:
+                    yield from emit()
+            while pending:
+                yield from emit()
+        finally:
+            while pending:
+                future, _count = pending.popleft()
+                try:
+                    future.result()
+                except Exception:
+                    pass
+
+    def _frames_processes_batched(
+        self, frames: Iterable, mode: ExecutionMode | None
+    ) -> Iterator[FrameResult]:
+        """Process-sharded frame stream with device batching.
+
+        Same contract as :meth:`_frames_processes`; whole batches ship
+        inline (a fused batch is one pickle, already amortised) instead
+        of through the per-frame shared-memory ring.
+        """
+        metrics = self._metrics
+        tracer = self._tracer
+        limit = self.max_in_flight
+        batch_limit = self.device_batch
+        in_flight = metrics.gauge("engine.in_flight") if metrics is not None else None
+        pool = self._ensure_pool()
+        pending: deque[tuple[Future, int]] = deque()
+        frames_pending = 0
+
+        def crash(exc: BaseException) -> WorkerCrashError:
+            self._abandon_pool(pending)
+            return WorkerCrashError(
+                f"engine worker process died (start method "
+                f"{self._start_method!r}); the pool has been torn down and "
+                f"will be rebuilt on the next run"
+            )
+
+        def emit() -> list[FrameResult]:
+            nonlocal frames_pending
+            future, count = pending.popleft()
+            try:
+                reply = future.result()
+            except BrokenProcessPool as exc:
+                raise crash(exc) from exc
+            frames_pending -= count
+            if tracer.enabled and reply.spans:
+                tracer.extend(reply.spans)
+            if metrics is not None:
+                metrics.histogram("engine.queue_wait_s").observe(reply.queue_wait_s)
+                self._record_batch_metrics(metrics, reply.execution, reply.latency_s)
+                in_flight.set(frames_pending)
+            return reply.execution.results
+
+        try:
+            for start_index, lumas in _iter_groups(frames, batch_limit):
+                submit_ts = time.perf_counter()
+                try:
+                    future = pool.submit(
+                        process_shard_batch, start_index, lumas, mode, submit_ts
+                    )
+                except BrokenProcessPool as exc:
+                    raise crash(exc) from exc
+                pending.append((future, len(lumas)))
+                frames_pending += len(lumas)
+                if in_flight is not None:
+                    in_flight.set(frames_pending)
+                while pending and frames_pending >= limit:
+                    yield from emit()
+            while pending:
+                yield from emit()
+        finally:
+            while pending:
+                future, _count = pending.popleft()
                 try:
                     future.result()
                 except Exception:
@@ -1304,6 +1596,149 @@ class DetectionEngine:
 
         inner.add_done_callback(_complete)
         return self._track(outer)
+
+    def submit_batch(
+        self,
+        frames,
+        mode: ExecutionMode | None = None,
+        *,
+        traces: list[str | None] | None = None,
+    ) -> "list[Future[FrameResult]]":
+        """Submit a coalesced request batch as device batches; one future each.
+
+        The serving micro-batcher's hook: its already-coalesced window
+        of requests fuses into device batches (consecutive same-shaped
+        frames, up to :attr:`device_batch` per batch) instead of N
+        independent :meth:`submit` calls.  Futures resolve in any order
+        but map 1:1 onto ``frames``; when ``batch_across_frames`` is
+        off, this degrades to a plain per-frame :meth:`submit` loop.
+        Like :meth:`submit`, no backpressure — admission control stays
+        with the caller.
+        """
+        mode = mode or self._mode
+        lumas = [np.asarray(_as_luma(frame)) for frame in frames]
+        if traces is not None and len(traces) != len(lumas):
+            raise ConfigurationError(
+                f"traces ({len(traces)}) must match frames ({len(lumas)})"
+            )
+        if not self._batch:
+            trace_list = traces if traces is not None else [None] * len(lumas)
+            return [
+                self.submit(luma, mode, trace=trace)
+                for luma, trace in zip(lumas, trace_list)
+            ]
+        futures: "list[Future[FrameResult]]" = [Future() for _ in lumas]
+        for start_index, group in _iter_groups(lumas, self.device_batch):
+            outer = futures[start_index : start_index + len(group)]
+            trace = None
+            if traces is not None:
+                trace = next(
+                    (
+                        t
+                        for t in traces[start_index : start_index + len(group)]
+                        if t is not None
+                    ),
+                    None,
+                )
+            self._dispatch_batch(group, mode, trace, outer)
+        return futures
+
+    def _dispatch_batch(
+        self,
+        lumas: list[np.ndarray],
+        mode: ExecutionMode | None,
+        trace: str | None,
+        outer: "list[Future[FrameResult]]",
+    ) -> None:
+        with self._lock:
+            index = self._submit_count
+            self._submit_count += len(lumas)
+        for future in outer:
+            self._track(future)
+
+        def fan_out(execution) -> None:
+            for future, result in zip(outer, execution.results):
+                future.set_result(result)
+
+        def fail_all(exc: BaseException) -> None:
+            for future in outer:
+                if not future.done():
+                    future.set_exception(exc)
+
+        if self._workers > 0 and self._sharding is ShardingMode.PROCESSES:
+            self._dispatch_batch_process(index, lumas, mode, trace, fan_out, fail_all)
+            return
+        submit_ts = time.perf_counter() if self._metrics is not None else None
+        if self._workers == 0:
+            try:
+                execution = self._batch_job(index, lumas, mode, submit_ts, trace)
+            except Exception as exc:
+                fail_all(exc)
+            else:
+                fan_out(execution)
+            return
+        inner = self._ensure_thread_pool().submit(
+            self._batch_job, index, lumas, mode, submit_ts, trace
+        )
+
+        def _complete(f: Future) -> None:
+            try:
+                execution = f.result()
+            except Exception as exc:
+                fail_all(exc)
+                return
+            fan_out(execution)
+
+        inner.add_done_callback(_complete)
+
+    def _dispatch_batch_process(
+        self,
+        index: int,
+        lumas: list[np.ndarray],
+        mode: ExecutionMode | None,
+        trace: str | None,
+        fan_out,
+        fail_all,
+    ) -> None:
+        pool = self._ensure_pool()
+        submit_ts = time.perf_counter()
+
+        def crash(exc: BaseException) -> WorkerCrashError:
+            self._abandon_pool(deque())
+            err = WorkerCrashError(
+                f"engine worker process died (start method "
+                f"{self._start_method!r}); the pool has been torn down "
+                f"and will be rebuilt on the next run"
+            )
+            err.__cause__ = exc
+            return err
+
+        try:
+            inner = pool.submit(
+                process_shard_batch, index, lumas, mode, submit_ts, trace
+            )
+        except BrokenProcessPool as exc:
+            fail_all(crash(exc))
+            return
+
+        def _complete(f: Future) -> None:
+            try:
+                reply = f.result()
+            except BrokenProcessPool as exc:
+                fail_all(crash(exc))
+                return
+            except Exception as exc:
+                fail_all(exc)
+                return
+            if self._tracer.enabled and reply.spans:
+                self._tracer.extend(reply.spans)
+            metrics = self._metrics
+            if metrics is not None:
+                metrics.histogram("engine.queue_wait_s").observe(reply.queue_wait_s)
+                self._record_batch_metrics(metrics, reply.execution, reply.latency_s)
+            fan_out(reply.execution)
+
+        inner.add_done_callback(_complete)
 
     def drain(self) -> None:
         """Block until every :meth:`submit`-ted frame has completed.

@@ -121,6 +121,12 @@ class FrameResult:
     #: ``"pid <n>"``) — set by the engine for request attribution in the
     #: serving layer's logs; ``None`` outside the engine
     worker: str | None = None
+    #: size of the fused device batch this frame rode in, ``None`` for
+    #: the per-frame path.  Frames of one batch *share* their fused
+    #: :class:`~repro.gpusim.scheduler.ScheduleResult`, and aggregation
+    #: (:func:`~repro.detect.engine.batch_report`, the metrics bridge)
+    #: uses this marker to count the shared schedule once
+    device_batch: int | None = None
 
     @property
     def detection_time_s(self) -> float:
@@ -312,6 +318,25 @@ class FaceDetectionPipeline:
         from repro.detect.engine import FrameWorkspace
 
         return FrameWorkspace(
+            self,
+            tracer=tracer if tracer is not None else self._tracer,
+            stream=stream,
+        )
+
+    def make_batch_workspace(
+        self, tracer: Tracer | None = None, stream: str | None = "default"
+    ):
+        """A workspace that can also fuse N frames into one device batch.
+
+        A strict superset of :meth:`make_workspace`: the returned
+        :class:`~repro.detect.devicebatch.BatchFrameWorkspace` processes
+        single frames identically and adds ``process_batch``, which runs
+        same-shaped frames through the backend's fused batch kernels
+        under one fused simulated schedule.
+        """
+        from repro.detect.devicebatch import BatchFrameWorkspace
+
+        return BatchFrameWorkspace(
             self,
             tracer=tracer if tracer is not None else self._tracer,
             stream=stream,

@@ -39,7 +39,15 @@ from repro.gpusim.scheduler import ExecutionMode
 from repro.obs.tracer import Span, Tracer
 from repro.video.shm import SlotTicket, attach_view
 
-__all__ = ["WorkerSpec", "ShardReply", "init_worker", "probe_shard", "process_shard"]
+__all__ = [
+    "WorkerSpec",
+    "ShardReply",
+    "ShardBatchReply",
+    "init_worker",
+    "probe_shard",
+    "process_shard",
+    "process_shard_batch",
+]
 
 CRASH_INDEX_ENV = "REPRO_ENGINE_TEST_CRASH_INDEX"
 DELAY_ENV = "REPRO_ENGINE_TEST_DELAY_S"
@@ -57,6 +65,9 @@ class WorkerSpec:
     #: fast-path stream identity for the workspace's temporal delta
     #: cache (``None`` disables temporal reuse in this worker)
     stream: str | None = "default"
+    #: build a batch-capable workspace so the worker can serve fused
+    #: device batches (:func:`process_shard_batch`) as well as frames
+    device_batch: bool = False
 
 
 @dataclass
@@ -74,6 +85,28 @@ class ShardReply:
     spans: list[Span] | None = None
 
 
+@dataclass
+class ShardBatchReply:
+    """One fused device batch coming back from a worker process.
+
+    ``execution`` is the worker's whole
+    :class:`~repro.detect.devicebatch.BatchExecution`; pickling keeps
+    the fused schedule *shared* across the batch's results (references
+    within one pickle are preserved), so the parent's batch-aware
+    aggregation still counts it once.
+    """
+
+    index: int
+    execution: object
+    pid: int
+    #: submit-to-start wait measured on the shared monotonic clock
+    queue_wait_s: float
+    #: worker-side processing time for the whole batch
+    latency_s: float
+    #: the batch's spans, pid-tagged and on the parent timeline
+    spans: list[Span] | None = None
+
+
 # Per-process resident state, created once by init_worker.  A plain dict
 # (not dataclass instances on the engine) so spawn pickling never sees it.
 _STATE: dict = {}
@@ -83,7 +116,12 @@ def init_worker(spec: WorkerSpec) -> None:
     """Pool initializer: build the resident workspace for this process."""
     tracer = Tracer(enabled=spec.tracing, origin=spec.trace_origin)
     pipeline = spec.pipeline.build(tracer=tracer)
-    _STATE["workspace"] = pipeline.make_workspace(tracer=tracer, stream=spec.stream)
+    if spec.device_batch:
+        _STATE["workspace"] = pipeline.make_batch_workspace(
+            tracer=tracer, stream=spec.stream
+        )
+    else:
+        _STATE["workspace"] = pipeline.make_workspace(tracer=tracer, stream=spec.stream)
     _STATE["tracer"] = tracer
     _STATE["crash_index"] = _parse_crash_index()
     _STATE["delays"] = _parse_delays()
@@ -189,6 +227,52 @@ def process_shard(
         index=index,
         result=result,
         pid=os.getpid(),
+        queue_wait_s=max(0.0, start - submit_ts),
+        latency_s=latency,
+        spans=spans,
+    )
+
+
+def process_shard_batch(
+    index: int,
+    lumas: list[np.ndarray],
+    mode: ExecutionMode | None,
+    submit_ts: float,
+    trace: str | None = None,
+) -> ShardBatchReply:
+    """Process one fused device batch inside a pool worker.
+
+    ``index`` is the first frame's index (the batch covers
+    ``index .. index + len(lumas) - 1``).  Batches ship inline — one
+    pickle per batch is already the amortised transport — rather than
+    through the per-frame shared-memory ring.
+    """
+    workspace = _STATE.get("workspace")
+    if workspace is None:
+        raise ConfigurationError("worker used before init_worker ran")
+    if not hasattr(workspace, "process_batch"):
+        raise ConfigurationError(
+            "worker was not initialised for device batching "
+            "(WorkerSpec.device_batch is off)"
+        )
+    start = time.perf_counter()
+    tracer: Tracer = _STATE["tracer"]
+    span_args = {"frame": index, "batch": len(lumas)}
+    if trace is not None:
+        span_args["trace"] = trace
+    with tracer.span("frame", cat="engine", **span_args):
+        execution = workspace.process_batch(lumas, mode)
+    pid = os.getpid()
+    for result in execution.results:
+        result.worker = f"pid {pid}"
+    latency = time.perf_counter() - start
+    spans = None
+    if tracer.enabled:
+        spans = _pid_tagged(tracer.drain(), pid)
+    return ShardBatchReply(
+        index=index,
+        execution=execution,
+        pid=pid,
         queue_wait_s=max(0.0, start - submit_ts),
         latency_s=latency,
         spans=spans,

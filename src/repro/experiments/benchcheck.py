@@ -1,7 +1,8 @@
 """Validate ``BENCH_*.json`` artifacts: the ``repro bench check`` backend.
 
 Every benchmark artifact the suite publishes (``BENCH_throughput.json``,
-``BENCH_serving.json``, ``BENCH_fastpath.json``,
+``BENCH_serving.json``, ``BENCH_serving-loadtest.json``,
+``BENCH_fastpath.json``, ``BENCH_devicebatch.json``,
 ``BENCH_log_overhead.json``) shares a contract: an
 ``experiment`` tag, an integer ``schema_version``, a full provenance
 block, and a per-experiment set of required result keys.  CI runs
@@ -57,6 +58,23 @@ REQUIRED_KEYS = {
     ),
     "fastpath": frozenset({"policies", "speedup", "recall", "identical_exact"}),
     "log_overhead": frozenset({"workload", "runs", "overhead", "accounting"}),
+    # a single-run external-server loadtest is not a batched-vs-unbatched
+    # comparison: it gets its own tag (and baseline) so `bench check`
+    # can gate on the run actually succeeding instead of accepting the
+    # null speedup the shared "serving" shape would allow
+    "serving-loadtest": frozenset(
+        {"workload", "runs", "fps", "latency", "speedup", "identical_responses"}
+    ),
+    "devicebatch": frozenset(
+        {
+            "batch_sizes",
+            "batches",
+            "speedup",
+            "identical_detections",
+            "transfer_accounting_ok",
+            "backend",
+        }
+    ),
 }
 
 _MISSING = object()

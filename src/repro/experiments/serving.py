@@ -310,11 +310,19 @@ def serving_artifact(
     trailer: str | None,
     server_stats: dict | None = None,
 ) -> dict:
-    """Schema-v1 artifact for a single external-server ``repro loadtest``."""
+    """Schema-v1 artifact for a single external-server ``repro loadtest``.
+
+    Tagged ``serving-loadtest`` (not ``serving``): one run against an
+    external server has no unbatched counterpart, so ``speedup`` and
+    ``identical_responses`` are legitimately ``null`` — the dedicated
+    tag lets ``repro bench check`` gate on what *is* knowable here
+    (requests succeeded, zero transport errors) instead of inheriting
+    the comparison artifact's checks.
+    """
     lat = result.latency_summary()
     engine = (server_stats or {}).get("engine", {})
     return {
-        "experiment": "serving",
+        "experiment": "serving-loadtest",
         "schema_version": BENCH_SERVING_SCHEMA_VERSION,
         "provenance": provenance(mode=engine.get("sharding")),
         "workload": {

@@ -93,6 +93,22 @@ def build_snapshot(
         snap["fastpath_proposal_recall"] = (
             counters.get("fastpath.proposal_kept", 0.0) / fp_accepts
         )
+    batches = counters.get("engine.device_batches", 0.0)
+    if batches > 0:
+        batching = {
+            "device_batches": int(batches),
+            "fused_batches": int(counters.get("engine.device_batches_fused", 0.0)),
+            "batched_frames": int(counters.get("engine.batched_frames", 0.0)),
+            "mean_batch_size": counters.get("engine.batched_frames", 0.0) / batches,
+            "transfers": int(counters.get("engine.device_transfers", 0.0)),
+            "transfers_saved": int(counters.get("engine.device_transfers_saved", 0.0)),
+        }
+        hist = snap["histograms"].get("engine.batch_size")
+        if hist is not None:
+            batching["batch_size_p50"] = hist["p50"]
+            batching["batch_size_p95"] = hist["p95"]
+            batching["batch_size_max"] = hist["max"]
+        snap["batching"] = batching
     return snap
 
 
@@ -151,6 +167,11 @@ def render_snapshot(snap: dict) -> str:
     ):
         if key in snap:
             scalars.append([key, round(snap[key], 4)])
+    batching = snap.get("batching")
+    if batching:
+        scalars.append(["device_batches", batching["device_batches"]])
+        scalars.append(["mean_batch_size", round(batching["mean_batch_size"], 2)])
+        scalars.append(["transfers_saved", batching["transfers_saved"]])
     if scalars:
         blocks.append(format_table(["metric", "value"], scalars, title="counters / gauges"))
 

@@ -93,6 +93,10 @@ class ServerConfig:
     sharding: str = "threads"
     max_batch: int = 4
     max_delay_s: float = 0.005
+    #: fuse each micro-batch into one engine device batch (same-shaped
+    #: frames share fused kernels and one simulated schedule) instead of
+    #: one ``submit`` per frame
+    device_batch: bool = False
     max_body_bytes: int = 8 * 1024 * 1024
     admission: AdmissionConfig = AdmissionConfig()
     #: frame side length used for the warmup frame
@@ -245,6 +249,10 @@ class DetectionServer:
             # requests from different clients must never delta against
             # each other: temporal reuse off, proposal screen still on
             fastpath_stream=None,
+            # the micro-batcher's coalesced window becomes one fused
+            # device batch, capped at the batcher's own max_batch
+            batch_across_frames=cfg.device_batch,
+            device_batch=cfg.max_batch if cfg.device_batch else None,
         )
         self._infer_pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-infer"
@@ -280,21 +288,22 @@ class DetectionServer:
         )
 
     def _infer(self, lumas: list, traces: list | None = None) -> list:
-        """Run one batch through the engine, one ``submit`` per frame.
+        """Run one micro-batch through the engine.
 
-        Per-frame submission (instead of one ``process_frames`` pass)
-        carries each request's trace id to its worker — thread or
-        process — so worker-side ``frame`` spans and the result's
-        ``worker`` attribution are request-scoped.  Results come back in
-        batch order; any worker failure fails the whole batch, exactly
-        as the streaming path did.
+        The batcher's coalesced window goes down as one
+        :meth:`~repro.detect.engine.DetectionEngine.submit_batch` call:
+        with ``device_batch`` on, consecutive same-shaped requests fuse
+        into one device batch (shared kernels, one simulated schedule);
+        with it off, the engine degrades to one ``submit`` per frame.
+        Either way each request's trace id reaches its worker — thread
+        or process — so worker-side ``frame`` spans and the result's
+        ``worker`` attribution stay request-scoped.  Results come back
+        in batch order; any worker failure fails the whole batch,
+        exactly as the streaming path did.
         """
         if traces is None:
             traces = [None] * len(lumas)
-        futures = [
-            self._engine.submit(luma, trace=trace)
-            for luma, trace in zip(lumas, traces)
-        ]
+        futures = self._engine.submit_batch(lumas, traces=traces)
         return [future.result() for future in futures]
 
     def _warmup(self) -> None:
@@ -669,6 +678,14 @@ class DetectionServer:
                 "sharding": self._engine.sharding.value if self._engine else None,
                 "fastpath": (
                     self._pipeline.fastpath.policy.value if self._pipeline else None
+                ),
+                "device_batch": (
+                    self._engine.batch_across_frames if self._engine else False
+                ),
+                "device_batch_size": (
+                    self._engine.device_batch
+                    if self._engine and self._engine.batch_across_frames
+                    else None
                 ),
             },
             "observability": {
