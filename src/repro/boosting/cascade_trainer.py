@@ -36,6 +36,7 @@ from repro.utils.rng import rng_for
 
 __all__ = [
     "TrainedStageReport",
+    "TrainerCheckpoint",
     "CascadeTrainer",
     "evaluate_cascade_on_windows",
     "default_negative_source",
@@ -113,6 +114,27 @@ class TrainedStageReport:
     bootstrap_batches: int
 
 
+@dataclass(frozen=True)
+class TrainerCheckpoint:
+    """Resumable trainer state, captured after each trained stage.
+
+    Everything downstream of stage ``next_stage - 1`` depends only on
+    this state plus the (seeded, stateless-per-batch) negative source:
+    ``negatives`` is the already-bootstrapped pool the next stage trains
+    on, and ``batch_counter`` is the next bootstrap batch index — the
+    trainer's only "RNG state", since :func:`default_negative_source`
+    derives its stream from ``rng_for(seed, "bootstrap-negatives",
+    batch)``.  Restarting :meth:`CascadeTrainer.train` with ``resume=``
+    therefore reproduces the uninterrupted run byte for byte.
+    """
+
+    next_stage: int
+    stages: tuple[Stage, ...]
+    reports: tuple[TrainedStageReport, ...]
+    negatives: np.ndarray
+    batch_counter: int
+
+
 class CascadeTrainer:
     """Trains an attentional cascade over a Haar feature pool."""
 
@@ -164,6 +186,8 @@ class CascadeTrainer:
         validation_fraction: float = 0.25,
         name: str = "cascade",
         seed: int = 0,
+        resume: TrainerCheckpoint | None = None,
+        on_stage: Callable[[TrainerCheckpoint], None] | None = None,
     ) -> tuple[Cascade, list[TrainedStageReport]]:
         """Train a cascade with the given per-stage classifier counts.
 
@@ -175,6 +199,13 @@ class CascadeTrainer:
         boosting; stage thresholds are calibrated on it, so per-stage hit
         rates hold out-of-sample instead of compounding training optimism
         across 25 stages.
+
+        ``on_stage`` receives a :class:`TrainerCheckpoint` after every
+        trained stage (post-bootstrap, so the checkpoint carries the next
+        stage's negative pool); ``resume`` restarts from such a
+        checkpoint.  Inputs (faces, stage sizes, seed, the negative
+        source) must match the original run — the checkpoint records
+        state, not configuration.
         """
         faces = np.asarray(faces, dtype=np.float64)
         if faces.ndim != 3 or len(faces) < 2:
@@ -191,13 +222,32 @@ class CascadeTrainer:
         val_data = pack_windows(val_faces)[0] if n_val else None
         n_neg = negatives_per_stage or len(fit_faces)
 
-        stages: list[Stage] = []
-        reports: list[TrainedStageReport] = []
-        batch_counter = 0
-        negatives = negative_source(batch_counter, n_neg)
-        batch_counter += 1
+        if resume is not None:
+            if not (0 < resume.next_stage <= len(stage_sizes)):
+                raise TrainingError(
+                    f"checkpoint resumes at stage {resume.next_stage}, but the "
+                    f"profile has {len(stage_sizes)} stages"
+                )
+            if len(resume.stages) != resume.next_stage:
+                raise TrainingError(
+                    f"checkpoint claims {resume.next_stage} trained stages but "
+                    f"carries {len(resume.stages)}"
+                )
+            stages = list(resume.stages)
+            reports = list(resume.reports)
+            negatives = np.asarray(resume.negatives, dtype=np.float64)
+            batch_counter = resume.batch_counter
+            start = resume.next_stage
+        else:
+            stages = []
+            reports = []
+            batch_counter = 0
+            negatives = negative_source(batch_counter, n_neg)
+            batch_counter += 1
+            start = 0
 
-        for k, size in enumerate(stage_sizes):
+        for k in range(start, len(stage_sizes)):
+            size = stage_sizes[k]
             training = TrainingSet.from_windows(fit_faces, negatives)
             result = self._booster().fit(training, int(size))
             neg_scores = result.scores[training.labels == -1]
@@ -227,15 +277,25 @@ class CascadeTrainer:
                     bootstrap_batches=batch_counter,
                 )
             )
-            if k + 1 == len(stage_sizes):
-                break
-            negatives, batch_counter = self._bootstrap(
-                Cascade(stages=tuple(stages), name=name),
-                negatives[neg_scores >= threshold],
-                negative_source,
-                n_neg,
-                batch_counter,
-            )
+            last = k + 1 == len(stage_sizes)
+            if not last:
+                negatives, batch_counter = self._bootstrap(
+                    Cascade(stages=tuple(stages), name=name),
+                    negatives[neg_scores >= threshold],
+                    negative_source,
+                    n_neg,
+                    batch_counter,
+                )
+            if on_stage is not None:
+                on_stage(
+                    TrainerCheckpoint(
+                        next_stage=k + 1,
+                        stages=tuple(stages),
+                        reports=tuple(reports),
+                        negatives=negatives[:0] if last else negatives,
+                        batch_counter=batch_counter,
+                    )
+                )
         cascade = Cascade(
             stages=tuple(stages),
             name=name,

@@ -5,7 +5,8 @@ Commands
 ``detect``    detect faces in a PGM/PPM image (or a synthesised demo scene)
 ``trailers``  list the synthetic Table II trailers
 ``info``      print device model, cascade zoo and profile information
-``train``     train a small cascade from scratch and save it as JSON
+``train``     train a cascade: a checkpointed zoo recipe or an ad-hoc profile
+``zoo``       list / show / garbage-collect the versioned model store
 ``bench``     run one experiment driver and print its paper-style table
 ``trace``     record a Chrome trace + metrics snapshot of the engine
 ``serve``     run the asyncio detection service (POST /v1/detect)
@@ -98,6 +99,8 @@ def _cmd_info(_args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    if args.recipe is not None:
+        return _cmd_train_recipe(args)
     from repro.boosting.cascade_trainer import CascadeTrainer, default_negative_source
     from repro.data.faces import render_training_chip
     from repro.haar.enumeration import subsampled_feature_pool
@@ -110,11 +113,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
     sizes = [int(s) for s in args.stages.split(",")]
     trainer = CascadeTrainer(pool, algorithm=args.algorithm)
     print(f"training {len(sizes)} stages {sizes} with the {args.algorithm} learner...")
+    output = args.output or "cascade.json"
     cascade, reports = trainer.train(
         faces,
         stage_sizes=sizes,
         negative_source=default_negative_source(args.seed),
-        name=Path(args.output).stem,
+        name=Path(output).stem,
         seed=args.seed,
     )
     for r in reports:
@@ -122,8 +126,121 @@ def _cmd_train(args: argparse.Namespace) -> int:
             f"  stage {r.index + 1:2d}: {r.size:3d} weak, hit {r.hit_rate:.3f}, "
             f"stage FPR {r.false_positive_rate:.3f}"
         )
-    cascade.save(args.output)
-    print(f"cascade ({cascade.num_weak_classifiers} weak classifiers) -> {args.output}")
+    cascade.save(output)
+    print(f"cascade ({cascade.num_weak_classifiers} weak classifiers) -> {output}")
+    return 0
+
+
+def _cmd_train_recipe(args: argparse.Namespace) -> int:
+    """``repro train --recipe``: checkpointed training into the zoo."""
+    from repro.zoo import default_store, recipe_for, train_model
+
+    recipe = recipe_for(args.recipe)
+    store = default_store()
+    version = recipe.version(args.seed)
+    total = len(recipe.stage_sizes)
+    if store.has(recipe.name, version) and not args.force:
+        print(
+            f"{recipe.name}@{version} is already published "
+            f"(--force retrains and re-verifies)"
+        )
+    else:
+        print(
+            f"training recipe {recipe.name!r} ({recipe.algorithm}, {total} stages) "
+            f"-> {recipe.name}@{version}"
+        )
+
+    def on_stage(state) -> None:
+        r = state.reports[-1]
+        print(
+            f"  stage {r.index + 1:2d}/{total}: {r.size:3d} weak, "
+            f"hit {r.hit_rate:.3f}, stage FPR {r.false_positive_rate:.3f} "
+            f"[checkpoint saved]"
+        )
+
+    cascade, manifest = train_model(
+        recipe,
+        seed=args.seed,
+        store=store,
+        force=args.force,
+        resume=not args.no_resume,
+        on_stage=on_stage,
+    )
+    print(
+        f"published {manifest.model}@{manifest.version} "
+        f"({cascade.num_weak_classifiers} weak classifiers, "
+        f"source={manifest.source}, digest {manifest.content_digest[:19]}...)"
+    )
+    ev = manifest.evaluation or {}
+    if ev:
+        print(
+            f"  held-out ROC point: hit {ev['hit_rate']:.3f}, "
+            f"false accept {ev['false_accept_rate']:.4f} "
+            f"({ev['faces']} faces / {ev['negatives']} negatives)"
+        )
+    print(f"  store: {store.version_dir(manifest.model, manifest.version)}")
+    if args.output:
+        cascade.save(args.output)
+        print(f"  exported copy -> {args.output}")
+    return 0
+
+
+def _cmd_zoo_list(_args: argparse.Namespace) -> int:
+    from repro.utils.tables import format_table
+    from repro.zoo import default_store
+
+    store = default_store()
+    rows = []
+    for model in store.models():
+        latest = store.latest(model)
+        for version in store.versions(model):
+            manifest = store.manifest(model, version)
+            ev = manifest.evaluation or {}
+            rows.append(
+                [
+                    model,
+                    version,
+                    "*" if version == latest else "",
+                    manifest.source,
+                    manifest.seed,
+                    sum(r["size"] for r in manifest.rounds) or "-",
+                    round(ev["hit_rate"], 3) if "hit_rate" in ev else "-",
+                ]
+            )
+    if not rows:
+        print(f"model store at {store.root} is empty")
+        return 0
+    print(
+        format_table(
+            ["model", "version", "latest", "source", "seed", "weak", "hit rate"],
+            rows,
+            title=f"model store — {store.root}",
+        )
+    )
+    return 0
+
+
+def _cmd_zoo_show(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.zoo import default_store
+
+    store = default_store()
+    model, version = store.resolve(args.ref)
+    manifest = store.manifest(model, version)
+    print(json.dumps(manifest.to_dict(), indent=2))
+    return 0
+
+
+def _cmd_zoo_gc(args: argparse.Namespace) -> int:
+    from repro.zoo import default_store
+
+    removed = default_store().gc(args.model)
+    if not removed:
+        print("nothing to collect")
+        return 0
+    for name in removed:
+        print(f"removed {name}")
     return 0
 
 
@@ -173,6 +290,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_fastpath(args)
     if args.experiment == "devicebatch":
         return _cmd_bench_devicebatch(args)
+    if args.experiment == "swap":
+        return _cmd_bench_swap(args)
     if args.experiment == "check":
         return _cmd_bench_check(args)
     profile = active_profile()
@@ -188,7 +307,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.experiment not in drivers:
         print(
             f"unknown experiment {args.experiment!r}; choose from "
-            f"{sorted(drivers) + ['check', 'devicebatch', 'fastpath', 'serving', 'throughput']}"
+            f"{sorted(drivers) + ['check', 'devicebatch', 'fastpath', 'serving', 'swap', 'throughput']}"
         )
         return 2
     print(drivers[args.experiment]())
@@ -324,6 +443,39 @@ def _cmd_bench_serving(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_swap(args: argparse.Namespace) -> int:
+    from repro.experiments.swap import run_swap
+
+    # the shared bench flags default to the throughput workload; untouched
+    # values fall back to the hot-swap defaults (small frames, the quick
+    # cascades — the swap mechanics are what is measured, not the model)
+    width = 96 if args.width == 480 else args.width
+    height = 96 if args.height == 270 else args.height
+    model = "quick" if args.cascade == "paper" else args.cascade
+    workers = 1 if args.workers == 4 else args.workers
+    requests = 64 if args.requests == 96 else args.requests
+    concurrency = 4 if args.concurrency == 8 else args.concurrency
+    result = run_swap(
+        model=model,
+        swap_to=args.swap_to,
+        requests=requests,
+        concurrency=concurrency,
+        width=width,
+        height=height,
+        backend=args.backend,
+        workers=workers,
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1e3,
+    )
+    print(result.format_table())
+    output = args.output
+    if output == "BENCH_throughput.json":
+        output = "BENCH_swap.json"
+    path = result.write_json(output)
+    print(f"benchmark artifact -> {path}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -336,6 +488,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         cascade=args.cascade,
+        model=args.model,
         backend=args.backend,
         device=_resolve_device(args),
         workers=args.workers,
@@ -537,8 +690,35 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("info", help="device model / profile / cache info")
     p.set_defaults(func=_cmd_info)
 
-    p = sub.add_parser("train", help="train a cascade and save it as JSON")
-    p.add_argument("--output", "-o", default="cascade.json")
+    p = sub.add_parser(
+        "train",
+        help="train a cascade: a zoo recipe (checkpointed, resumable, "
+        "published to the model store) or an ad-hoc profile saved as JSON",
+    )
+    p.add_argument(
+        "--recipe",
+        default=None,
+        help="named zoo recipe (quick/quick_baseline/paper/opencv_like); "
+        "checkpoints after every stage, resumes byte-identically, and "
+        "publishes a versioned manifest-carrying artifact",
+    )
+    p.add_argument(
+        "--force",
+        action="store_true",
+        help="retrain even when the recipe version is already published",
+    )
+    p.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="discard any training checkpoint and start from stage 1",
+    )
+    p.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        help="cascade JSON path (ad-hoc default: cascade.json; with "
+        "--recipe: an extra exported copy next to the store publish)",
+    )
     p.add_argument("--stages", default="4,6,8,12", help="comma-separated stage sizes")
     p.add_argument("--faces", type=int, default=250)
     p.add_argument("--pool", type=int, default=800)
@@ -546,11 +726,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_train)
 
+    p = sub.add_parser("zoo", help="inspect the versioned model store")
+    zoo_sub = p.add_subparsers(dest="zoo_command", required=True)
+    z = zoo_sub.add_parser("list", help="every model and version in the store")
+    z.set_defaults(func=_cmd_zoo_list)
+    z = zoo_sub.add_parser("show", help="print one version's manifest JSON")
+    z.add_argument("ref", help="model[@version] (version defaults to latest)")
+    z.set_defaults(func=_cmd_zoo_show)
+    z = zoo_sub.add_parser(
+        "gc", help="drop all non-latest versions and published checkpoints"
+    )
+    z.add_argument("--model", default=None, help="restrict collection to one model")
+    z.set_defaults(func=_cmd_zoo_gc)
+
     p = sub.add_parser("bench", help="run one experiment driver")
     p.add_argument(
         "experiment",
         help="table1|table2|fig5|fig6|fig7|fig8|fig9|throughput|serving|"
-        "fastpath|devicebatch|check",
+        "fastpath|devicebatch|swap|check",
     )
     p.add_argument(
         "files",
@@ -640,6 +833,11 @@ def build_parser() -> argparse.ArgumentParser:
         "1, the per-frame baseline (devicebatch)",
     )
     p.add_argument(
+        "--swap-to",
+        default="quick_baseline",
+        help="model reference to hot-swap to mid-load (swap)",
+    )
+    p.add_argument(
         "--baselines",
         default="benchmarks/baselines",
         help="baseline directory for metric comparisons (check)",
@@ -708,6 +906,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("quick", "paper", "opencv"),
         default="quick",
         help="cascade profile",
+    )
+    p.add_argument(
+        "--model",
+        default=None,
+        help="zoo model reference to serve (name, name@version, or a "
+        "cascade JSON path); overrides --cascade, hot-swappable via "
+        "POST /v1/models/swap and SIGHUP",
     )
     p.add_argument(
         "--backend",

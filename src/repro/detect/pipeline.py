@@ -127,6 +127,12 @@ class FrameResult:
     #: (:func:`~repro.detect.engine.batch_report`, the metrics bridge)
     #: uses this marker to count the shared schedule once
     device_batch: int | None = None
+    #: zoo version of the model that served this frame
+    #: (``model@version``) — stamped by the serving layer's
+    #: :class:`~repro.detect.swap.EngineSlot`, which reads engine and
+    #: version together so the tag is exact even at a hot-swap boundary;
+    #: ``None`` outside the serving path
+    model_version: str | None = None
 
     @property
     def detection_time_s(self) -> float:

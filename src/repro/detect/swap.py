@@ -1,0 +1,85 @@
+"""The engine hot-swap seam: one slot, atomic flips, version stamping.
+
+:class:`EngineSlot` is the indirection the serving layer reads its
+engine through.  The serving infer path executes each micro-batch as a
+single job on a one-thread executor; a swap is submitted to that *same*
+executor, so the flip is guaranteed to land between micro-batches — no
+batch ever straddles two engines, and no lock is held across inference.
+
+The slot pairs the engine with the model version it serves, read
+together under one lock, so every :class:`~repro.detect.pipeline.
+FrameResult` is stamped with the version of the engine that actually
+produced it — exact even at the flip boundary.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.detect.engine import DetectionEngine
+from repro.detect.pipeline import FrameResult
+
+__all__ = ["EngineSlot"]
+
+
+class EngineSlot:
+    """Thread-safe holder of the live ``(engine, model_version)`` pair."""
+
+    def __init__(
+        self, engine: DetectionEngine, model_version: str | None = None
+    ) -> None:
+        self._lock = threading.Lock()
+        self._engine = engine
+        self._model_version = model_version
+        self._generation = 0
+
+    @property
+    def engine(self) -> DetectionEngine:
+        with self._lock:
+            return self._engine
+
+    @property
+    def model_version(self) -> str | None:
+        with self._lock:
+            return self._model_version
+
+    @property
+    def generation(self) -> int:
+        """How many swaps this slot has seen (0 = the boot engine)."""
+        with self._lock:
+            return self._generation
+
+    def current(self) -> tuple[DetectionEngine, str | None, int]:
+        """One consistent ``(engine, model_version, generation)`` read."""
+        with self._lock:
+            return self._engine, self._model_version, self._generation
+
+    def swap(
+        self, engine: DetectionEngine, model_version: str | None
+    ) -> DetectionEngine:
+        """Install a new engine; returns the previous one for retirement.
+
+        The caller is responsible for running this between inference
+        batches (the serving layer submits it to its single-thread infer
+        executor) and for draining/closing the returned engine.
+        """
+        with self._lock:
+            old, self._engine = self._engine, engine
+            self._model_version = model_version
+            self._generation += 1
+        return old
+
+    def infer(self, lumas: list, traces: list | None = None) -> list[FrameResult]:
+        """Run one coalesced batch through the current engine.
+
+        Engine and version are read together, so results are stamped
+        with the version that actually served them.
+        """
+        engine, version, _ = self.current()
+        if traces is None:
+            traces = [None] * len(lumas)
+        futures = engine.submit_batch(lumas, traces=traces)
+        results = [future.result() for future in futures]
+        for result in results:
+            result.model_version = version
+        return results

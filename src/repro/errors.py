@@ -15,6 +15,7 @@ __all__ = [
     "MemoryModelError",
     "CascadeFormatError",
     "TrainingError",
+    "ZooError",
     "BitstreamError",
     "EvaluationError",
     "WorkerCrashError",
@@ -56,6 +57,11 @@ class CascadeFormatError(ReproError):
 
 class TrainingError(ReproError):
     """Boosted-cascade training could not meet its targets or inputs."""
+
+
+class ZooError(ReproError):
+    """A model-zoo operation failed (unknown model, corrupt manifest,
+    checkpoint/recipe mismatch, or an invalid store layout)."""
 
 
 class BitstreamError(ReproError):

@@ -3,7 +3,7 @@
 Every benchmark artifact the suite publishes (``BENCH_throughput.json``,
 ``BENCH_serving.json``, ``BENCH_serving-loadtest.json``,
 ``BENCH_fastpath.json``, ``BENCH_devicebatch.json``,
-``BENCH_log_overhead.json``) shares a contract: an
+``BENCH_swap.json``, ``BENCH_log_overhead.json``) shares a contract: an
 ``experiment`` tag, an integer ``schema_version``, a full provenance
 block, and a per-experiment set of required result keys.  CI runs
 ``repro bench check`` after every bench smoke so a refactor that breaks
@@ -73,6 +73,17 @@ REQUIRED_KEYS = {
             "identical_detections",
             "transfer_accounting_ok",
             "backend",
+        }
+    ),
+    "swap": frozenset(
+        {
+            "workload",
+            "phases",
+            "swap",
+            "readyz",
+            "latency",
+            "failed_requests",
+            "versions",
         }
     ),
 }

@@ -41,6 +41,7 @@ def build_snapshot(
     backend: str | None = None,
     device: str | None = None,
     probe=None,
+    model: dict | None = None,
 ) -> dict:
     """One deterministic-shaped dict with everything observed so far.
 
@@ -48,9 +49,13 @@ def build_snapshot(
     compute backend and the registry contents it was chosen from;
     ``device`` and ``probe`` (a :class:`~repro.backend.registry.
     ProbeReport`) additionally record the compute device kind and the
-    capability-probe path that selected it.
+    capability-probe path that selected it.  ``model`` (the serving
+    layer's model-manager info block) records which zoo model version
+    produced the numbers in this snapshot.
     """
     snap: dict = {"schema_version": SNAPSHOT_SCHEMA_VERSION}
+    if model is not None:
+        snap["model"] = model
     if backend is not None:
         from repro.backend import available_backends
 

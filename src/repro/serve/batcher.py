@@ -59,6 +59,7 @@ class RequestTelemetry:
         "serialize_s",
         "batch_size",
         "worker",
+        "model_version",
     )
 
     def __init__(self, trace: str | None = None) -> None:
@@ -69,6 +70,7 @@ class RequestTelemetry:
         self.serialize_s: float | None = None
         self.batch_size: int | None = None
         self.worker: str | None = None
+        self.model_version: str | None = None
 
     def timing(self) -> dict:
         """The response-body ``timing`` block (unfilled legs are null)."""
@@ -287,6 +289,7 @@ class MicroBatcher:
                 item.telemetry.infer_s = infer_s
                 item.telemetry.batch_size = len(batch)
                 item.telemetry.worker = getattr(result, "worker", None)
+                item.telemetry.model_version = getattr(result, "model_version", None)
             if not item.future.done():
                 item.future.set_result(result)
 

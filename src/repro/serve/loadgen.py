@@ -49,6 +49,14 @@ class LoadTestResult:
     #: server's ``x-repro-trace-id`` response header; ``None`` when the
     #: server predates tracing)
     trace_ids: list[str | None] = field(default_factory=list, repr=False)
+    #: per-OK-request completion instants, seconds since the run started,
+    #: parallel to ``latencies_s`` — the timeline the hot-swap benchmark
+    #: uses to classify requests as inside/outside the swap window
+    completions_s: list[float] = field(default_factory=list, repr=False)
+    #: per-OK-request serving model version (the response body's
+    #: ``model_version``), parallel to ``latencies_s``; only populated
+    #: when the run was made with ``capture_versions=True``
+    model_versions: list[str | None] = field(default_factory=list, repr=False)
 
     @property
     def ok(self) -> int:
@@ -100,6 +108,14 @@ class LoadTestResult:
             for latency_s, trace_id in paired[:k]
         ]
 
+    def versions_served(self) -> dict[str, int]:
+        """OK-request counts per serving model version (captured runs)."""
+        counts: dict[str, int] = {}
+        for version in self.model_versions:
+            if version is not None:
+                counts[version] = counts.get(version, 0) + 1
+        return dict(sorted(counts.items()))
+
     def to_dict(self) -> dict:
         return {
             "mode": self.mode,
@@ -113,6 +129,11 @@ class LoadTestResult:
             "errors": self.errors,
             "latency": self.latency_summary(),
             "slowest": self.slowest(),
+            **(
+                {"versions_served": self.versions_served()}
+                if any(v is not None for v in self.model_versions)
+                else {}
+            ),
         }
 
 
@@ -275,11 +296,15 @@ async def run_loadtest(
     rate_rps: float | None = None,
     payloads: list[tuple[bytes, str]] | None = None,
     ready_timeout_s: float = 30.0,
+    capture_versions: bool = False,
 ) -> LoadTestResult:
     """Drive the service and measure; closed loop unless ``rate_rps``.
 
     ``payloads`` rotate round-robin across requests (default: a small
     synthetic-frame pool from :func:`build_payloads`).
+    ``capture_versions`` additionally parses each OK response body for
+    its ``model_version`` tag — the hot-swap benchmark's evidence that
+    a version flip landed mid-run.
     """
     if requests < 1:
         raise ConfigurationError(f"requests must be >= 1, got {requests}")
@@ -293,28 +318,47 @@ async def run_loadtest(
     status_counts: dict[str, int] = {}
     latencies: list[float] = []
     trace_ids: list[str | None] = []
+    completions: list[float] = []
+    versions: list[str | None] = []
     errors = 0
 
-    def record(status: int, latency_s: float, trace_id: str | None) -> None:
+    def record(
+        status: int,
+        latency_s: float,
+        trace_id: str | None,
+        done_pc: float,
+        version: str | None,
+    ) -> None:
         status_counts[str(status)] = status_counts.get(str(status), 0) + 1
         if status == 200:
             latencies.append(latency_s)
             trace_ids.append(trace_id)
+            completions.append(done_pc - start)
+            versions.append(version)
 
     async def one(conn: _Connection, index: int, scheduled_pc: float) -> None:
         nonlocal errors
         body, content_type = payloads[index % len(payloads)]
         try:
-            status, _ = await conn.request(
+            status, answer = await conn.request(
                 "POST", "/v1/detect", body, content_type
             )
         except (ConnectionError, OSError, ServeError, asyncio.IncompleteReadError):
             errors += 1
             return
+        done_pc = time.perf_counter()
+        version: str | None = None
+        if capture_versions and status == 200:
+            try:
+                version = json.loads(answer).get("model_version")
+            except ValueError:
+                version = None
         record(
             status,
-            time.perf_counter() - scheduled_pc,
+            done_pc - scheduled_pc,
             conn.last_headers.get(TRACE_ID_HEADER),
+            done_pc,
+            version,
         )
 
     start = time.perf_counter()
@@ -368,4 +412,6 @@ async def run_loadtest(
         latencies_s=latencies,
         errors=errors,
         trace_ids=trace_ids,
+        completions_s=completions,
+        model_versions=versions,
     )

@@ -54,8 +54,10 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.prom import PROM_CONTENT_TYPE, render_prometheus
 from repro.obs.report import build_snapshot
 from repro.obs.tracer import Tracer
+from repro.detect.swap import EngineSlot
 from repro.serve.admission import AdmissionConfig, AdmissionController
 from repro.serve.batcher import MicroBatcher, RequestTelemetry
+from repro.serve.models import ModelManager
 from repro.serve.protocol import (
     TRACE_ID_HEADER,
     decode_frame,
@@ -80,6 +82,11 @@ class ServerConfig:
     host: str = "127.0.0.1"
     port: int = 8035
     cascade: str = "quick"
+    #: zoo model reference (``model`` / ``model@version``) or a cascade
+    #: JSON path; overrides ``cascade`` when set.  SIGHUP re-resolves it
+    #: (aliases like ``quick`` mean ``quick@latest``) and hot-swaps when
+    #: the target moved; ``POST /v1/models/swap`` swaps explicitly.
+    model: str | None = None
     backend: str | None = None
     #: compute device kind (``auto`` | ``cuda`` | ``mps`` | ``cpu``);
     #: ``None`` keeps the backend's own device resolution
@@ -131,6 +138,49 @@ class ServerConfig:
         self.admission.validate()
 
 
+def _load_model(
+    ref: str,
+    backend: str | None,
+    tracer: Tracer,
+    fastpath: str | None = None,
+    device: str | None = None,
+):
+    """Resolve a model reference into ``(pipeline, model info)``.
+
+    Accepts built-in recipe names (``quick`` / ``paper`` / ``opencv``,
+    trained through the zoo on first use), zoo references
+    (``model@version``), and cascade JSON paths.
+    """
+    from repro.detect.pipeline import FaceDetectionPipeline, PipelineConfig
+    from repro.zoo import resolve_model
+
+    cascade, manifest = resolve_model(ref)
+    if manifest is not None:
+        info = {
+            "ref": ref,
+            "model": manifest.model,
+            "version": manifest.version,
+            "version_tag": f"{manifest.model}@{manifest.version}",
+            "source": manifest.source,
+            "content_digest": manifest.content_digest,
+        }
+    else:
+        info = {
+            "ref": ref,
+            "model": cascade.name,
+            "version": "file",
+            "version_tag": f"{cascade.name}@file",
+            "source": "file",
+            "content_digest": None,
+        }
+    pipeline = FaceDetectionPipeline(
+        cascade,
+        config=PipelineConfig(backend=backend, device=device, fastpath=fastpath),
+        tracer=tracer,
+    )
+    return pipeline, info
+
+
 def _build_pipeline(
     cascade: str,
     backend: str | None,
@@ -138,23 +188,9 @@ def _build_pipeline(
     fastpath: str | None = None,
     device: str | None = None,
 ):
-    from repro import zoo
-    from repro.detect.pipeline import FaceDetectionPipeline, PipelineConfig
-
-    cascades = {
-        "quick": zoo.quick_cascade,
-        "paper": zoo.paper_cascade,
-        "opencv": zoo.opencv_like_cascade,
-    }
-    if cascade not in cascades:
-        raise ConfigurationError(
-            f"unknown cascade {cascade!r}; choose from {sorted(cascades)}"
-        )
-    return FaceDetectionPipeline(
-        cascades[cascade](seed=0),
-        config=PipelineConfig(backend=backend, device=device, fastpath=fastpath),
-        tracer=tracer,
-    )
+    return _load_model(
+        cascade, backend, tracer, fastpath=fastpath, device=device
+    )[0]
 
 
 class DetectionServer:
@@ -177,8 +213,8 @@ class DetectionServer:
         self._admission = AdmissionController(
             self._config.admission, metrics=self._metrics
         )
-        self._pipeline = None
-        self._engine = None
+        self._manager: ModelManager | None = None
+        self._slot: EngineSlot | None = None
         self._batcher: MicroBatcher | None = None
         # ONE infer thread: batches serialise through it in order, and
         # each dispatch is a single executor hop for the whole batch
@@ -198,6 +234,21 @@ class DetectionServer:
     @property
     def config(self) -> ServerConfig:
         return self._config
+
+    @property
+    def _engine(self):
+        """The live engine — always read through the hot-swap slot."""
+        return self._slot.engine if self._slot is not None else None
+
+    @property
+    def _pipeline(self):
+        engine = self._engine
+        return engine.pipeline if engine is not None else None
+
+    @property
+    def model_version(self) -> str | None:
+        """The ``model@version`` tag currently serving."""
+        return self._slot.model_version if self._slot is not None else None
 
     @property
     def metrics(self) -> MetricsRegistry:
@@ -230,33 +281,27 @@ class DetectionServer:
         """Bind the listener and warm up; returns once ready."""
         if self._server is not None:
             raise ConfigurationError("server is already started")
-        from repro.detect.engine import DetectionEngine
 
         cfg = self._config
-        self._pipeline = _build_pipeline(
-            cfg.cascade,
-            cfg.backend,
-            self._tracer,
-            fastpath=cfg.fastpath,
-            device=cfg.device,
-        )
-        self._engine = DetectionEngine(
-            self._pipeline,
-            workers=cfg.workers,
-            sharding=cfg.sharding,
-            tracer=self._tracer,
-            metrics=self._metrics,
-            # requests from different clients must never delta against
-            # each other: temporal reuse off, proposal screen still on
-            fastpath_stream=None,
-            # the micro-batcher's coalesced window becomes one fused
-            # device batch, capped at the batcher's own max_batch
-            batch_across_frames=cfg.device_batch,
-            device_batch=cfg.max_batch if cfg.device_batch else None,
-        )
         self._infer_pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-infer"
         )
+        self._manager = ModelManager(
+            build_pipeline=lambda ref: _load_model(
+                ref,
+                cfg.backend,
+                self._tracer,
+                fastpath=cfg.fastpath,
+                device=cfg.device,
+            ),
+            build_engine=self._build_engine,
+            warm=self._warm_engine,
+            flip_executor=self._infer_pool,
+            tracer=self._tracer,
+            metrics=self._metrics,
+            lifecycle=self._lifecycle,
+        )
+        self._slot = self._manager.boot(cfg.model or cfg.cascade)
         self._batcher = MicroBatcher(
             self._infer,
             max_batch=cfg.max_batch,
@@ -287,39 +332,83 @@ class DetectionServer:
             "warmup", warmup_s=round(time.perf_counter() - warmup_start, 6)
         )
 
+    def _build_engine(self, pipeline):
+        """One engine over ``pipeline`` with the server's tuning.
+
+        Used at boot and for every hot-swap, so a swapped-in model runs
+        under exactly the configuration the boot model did.
+        """
+        from repro.detect.engine import DetectionEngine
+
+        cfg = self._config
+        return DetectionEngine(
+            pipeline,
+            workers=cfg.workers,
+            sharding=cfg.sharding,
+            tracer=self._tracer,
+            metrics=self._metrics,
+            # requests from different clients must never delta against
+            # each other: temporal reuse off, proposal screen still on
+            fastpath_stream=None,
+            # the micro-batcher's coalesced window becomes one fused
+            # device batch, capped at the batcher's own max_batch
+            batch_across_frames=cfg.device_batch,
+            device_batch=cfg.max_batch if cfg.device_batch else None,
+        )
+
     def _infer(self, lumas: list, traces: list | None = None) -> list:
         """Run one micro-batch through the engine.
 
         The batcher's coalesced window goes down as one
-        :meth:`~repro.detect.engine.DetectionEngine.submit_batch` call:
-        with ``device_batch`` on, consecutive same-shaped requests fuse
-        into one device batch (shared kernels, one simulated schedule);
-        with it off, the engine degrades to one ``submit`` per frame.
-        Either way each request's trace id reaches its worker — thread
-        or process — so worker-side ``frame`` spans and the result's
-        ``worker`` attribution stay request-scoped.  Results come back
-        in batch order; any worker failure fails the whole batch,
-        exactly as the streaming path did.
+        :meth:`~repro.detect.engine.DetectionEngine.submit_batch` call
+        on whatever engine the hot-swap slot currently holds — the slot
+        is read once per batch, and swaps execute on this same
+        single-thread executor, so a batch can never straddle two
+        engines.  With ``device_batch`` on, consecutive same-shaped
+        requests fuse into one device batch (shared kernels, one
+        simulated schedule); with it off, the engine degrades to one
+        ``submit`` per frame.  Either way each request's trace id
+        reaches its worker — thread or process — so worker-side
+        ``frame`` spans and the result's ``worker`` attribution stay
+        request-scoped.  Results come back in batch order, stamped with
+        the serving model version; any worker failure fails the whole
+        batch, exactly as the streaming path did.
         """
-        if traces is None:
-            traces = [None] * len(lumas)
-        futures = self._engine.submit_batch(lumas, traces=traces)
-        return [future.result() for future in futures]
+        return self._slot.infer(lumas, traces)
 
-    def _warmup(self) -> None:
+    def _warm_engine(self, engine) -> None:
+        """Workspace plans + one synthetic frame through ``engine``."""
         side = self._config.warmup_side
         frame = np.zeros((side, side), dtype=np.float32)
-        list(self._engine.process_frames([frame]))
+        list(engine.process_frames([frame]))
         self._metrics.counter("serve.warmup_frames").inc()
 
+    def _warmup(self) -> None:
+        self._warm_engine(self._engine)
+
     def install_signal_handlers(self) -> None:
-        """SIGTERM/SIGINT drain gracefully; SIGUSR2 dumps the flight ring."""
+        """SIGTERM/SIGINT drain; SIGUSR2 dumps flight; SIGHUP reloads model.
+
+        SIGHUP re-resolves the configured model reference (an alias like
+        ``quick`` means ``quick@latest``) and hot-swaps when the target
+        moved — the symlink-flip deployment idiom, with no restart.
+        """
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGTERM, signal.SIGINT):
             loop.add_signal_handler(
                 sig, lambda: asyncio.ensure_future(self.drain())
             )
         loop.add_signal_handler(sig=signal.SIGUSR2, callback=self.dump_flight)
+        loop.add_signal_handler(
+            signal.SIGHUP,
+            lambda: asyncio.ensure_future(self.reload_model()),
+        )
+
+    async def reload_model(self) -> dict | None:
+        """Re-resolve ``--model`` and swap if it points elsewhere now."""
+        if self._manager is None:
+            return None
+        return await self._manager.reload()
 
     def dump_flight(self, reason: str = "signal") -> str | None:
         """Write the flight ring to the configured dump path; returns it."""
@@ -367,6 +456,8 @@ class DetectionServer:
         if self._engine is not None:
             self._engine.drain()
             self._engine.close()
+        if self._manager is not None:
+            self._manager.close()
         if self._infer_pool is not None:
             self._infer_pool.shutdown(wait=True)
         self._lifecycle(
@@ -459,6 +550,16 @@ class DetectionServer:
                     {"Allow": "POST"},
                 )
             return await self._detect(request)
+        if path == "/v1/models/swap":
+            if request.method != "POST":
+                return 405, (
+                    json_body({"error": "use POST"}),
+                    {"Allow": "POST"},
+                )
+            return await self._swap(request)
+        if path == "/v1/models":
+            if request.method in ("GET", "HEAD"):
+                return 200, (json_body(self._models()), None)
         if request.method not in ("GET", "HEAD"):
             return 405, (json_body({"error": "use GET"}), {"Allow": "GET, HEAD"})
         if path == "/healthz":
@@ -538,6 +639,7 @@ class DetectionServer:
                     telemetry.serialize_s = time.perf_counter() - serialize_start
                 payload["trace_id"] = ctx.trace_id
                 payload["timing"] = telemetry.timing()
+                payload["model_version"] = result.model_version
                 body = json_body(payload)
             finally:
                 self._admission.release()
@@ -592,6 +694,59 @@ class DetectionServer:
             latency_s = time.perf_counter() - start_pc
             self._log_request(ctx, status, latency_s, telemetry, shed_reason, error)
 
+    async def _swap(self, request) -> tuple[int, tuple[bytes, dict | None]]:
+        """``POST /v1/models/swap`` — zero-downtime model hot-swap.
+
+        The reference comes from the JSON body (``{"model": "..."}``) or
+        the ``model`` query parameter.  409 while another swap is in
+        flight; zoo resolution failures map to a 400 and leave the
+        serving model untouched.  ``/readyz`` stays green throughout —
+        the old engine serves every batch until the flip lands.
+        """
+        from repro.errors import ZooError
+
+        ref = request.query.get("model")
+        if request.body:
+            try:
+                body = json.loads(request.body)
+            except json.JSONDecodeError as exc:
+                raise BadRequestError(f"swap body is not valid JSON: {exc}") from exc
+            if not isinstance(body, dict):
+                raise BadRequestError("swap body must be a JSON object")
+            ref = body.get("model", ref)
+        if not ref or not isinstance(ref, str):
+            raise BadRequestError(
+                "specify the target model: {\"model\": \"<ref>\"} or ?model=<ref>"
+            )
+        try:
+            summary = await self._manager.swap(ref)
+        except ZooError as exc:
+            raise BadRequestError(str(exc)) from exc
+        return 200, (
+            json_body({"swapped": True, **summary, "model": self._manager.info()}),
+            None,
+        )
+
+    def _models(self) -> dict:
+        """``GET /v1/models`` — what's serving and what could serve."""
+        from repro.zoo import RECIPES, default_store
+
+        store = default_store()
+        available: dict = {
+            name: {"versions": [], "latest": None, "recipe": True}
+            for name in sorted(RECIPES)
+        }
+        for model in store.models():
+            entry = available.setdefault(
+                model, {"versions": [], "latest": None, "recipe": False}
+            )
+            entry["versions"] = store.versions(model)
+            entry["latest"] = store.latest(model)
+        return {
+            "current": self._manager.info() if self._manager else None,
+            "available": available,
+        }
+
     # ------------------------------------------------------------------
     # introspection
 
@@ -629,6 +784,8 @@ class DetectionServer:
             fields["batch_size"] = telemetry.batch_size
         if telemetry.worker is not None:
             fields["worker"] = telemetry.worker
+        if telemetry.model_version is not None:
+            fields["model_version"] = telemetry.model_version
         if telemetry.queue_wait_s is not None:
             fields["queue_wait_s"] = round(telemetry.queue_wait_s, 6)
         if shed_reason is not None:
@@ -655,8 +812,10 @@ class DetectionServer:
             backend=backend,
             device=self._pipeline.compute_device if self._pipeline else None,
             probe=self._pipeline.probe_report if self._pipeline else None,
+            model=self._manager.info() if self._manager is not None else None,
         )
         snap["serve"] = {
+            "model": self._manager.info() if self._manager is not None else None,
             "state": (
                 "draining"
                 if self._draining

@@ -1,0 +1,205 @@
+"""The versioned on-disk model store.
+
+Layout (under ``$REPRO_CACHE_DIR`` / ``~/.cache/repro-facedetect``)::
+
+    zoo/
+      <model>/
+        aliases.json             {"latest": "<version>"}
+        <version>/
+          cascade.json           the artifact itself
+          manifest.json          provenance (repro.zoo.manifest)
+        checkpoints/<version>/   resumable trainer state (repro.zoo.training)
+
+Versions are deterministic — ``<recipe-digest-12>-s<seed>`` — so the same
+recipe and seed always land in the same directory and a recipe change
+mints a new version automatically.  Publishes are atomic: the version
+directory is staged under a temp name and ``os.replace``d into place, so
+a reader (or a concurrent trainer) never sees a half-written model.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+
+from repro.errors import ZooError
+from repro.haar.cascade import Cascade
+from repro.utils.artifacts import artifact_dir
+from repro.zoo.manifest import ModelManifest
+
+__all__ = ["ModelStore", "default_store", "parse_ref"]
+
+_ALIASES = "aliases.json"
+_CHECKPOINTS = "checkpoints"
+
+
+def parse_ref(ref: str) -> tuple[str, str | None]:
+    """Split ``model`` / ``model@version`` / ``model@latest`` references."""
+    if not ref:
+        raise ZooError("empty model reference")
+    model, sep, version = ref.partition("@")
+    if not model:
+        raise ZooError(f"malformed model reference {ref!r}")
+    if not sep or version in ("", "latest"):
+        return model, None
+    return model, version
+
+
+class ModelStore:
+    """Versioned cascade artifacts under one root directory."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self._root = Path(root) if root is not None else artifact_dir() / "zoo"
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    # -- listing -------------------------------------------------------------
+
+    def models(self) -> list[str]:
+        if not self._root.is_dir():
+            return []
+        return sorted(
+            p.name for p in self._root.iterdir() if p.is_dir() and self.versions(p.name)
+        )
+
+    def versions(self, model: str) -> list[str]:
+        base = self._root / model
+        if not base.is_dir():
+            return []
+        return sorted(
+            p.name
+            for p in base.iterdir()
+            if p.is_dir() and p.name != _CHECKPOINTS and (p / "manifest.json").is_file()
+        )
+
+    def has(self, model: str, version: str) -> bool:
+        base = self._root / model / version
+        return (base / "cascade.json").is_file() and (base / "manifest.json").is_file()
+
+    def latest(self, model: str) -> str | None:
+        """The ``latest`` alias target, falling back to a directory scan."""
+        aliases = self._read_aliases(model)
+        version = aliases.get("latest")
+        if version and self.has(model, version):
+            return version
+        versions = self.versions(model)
+        return versions[-1] if versions else None
+
+    # -- resolution / loading ------------------------------------------------
+
+    def resolve(self, ref: str) -> tuple[str, str]:
+        """Resolve a reference to a concrete ``(model, version)`` pair."""
+        model, version = parse_ref(ref)
+        if version is None:
+            version = self.latest(model)
+            if version is None:
+                raise ZooError(
+                    f"model {model!r} has no published versions under {self._root}"
+                )
+        if not self.has(model, version):
+            raise ZooError(f"model {model}@{version} not found under {self._root}")
+        return model, version
+
+    def version_dir(self, model: str, version: str) -> Path:
+        return self._root / model / version
+
+    def manifest(self, model: str, version: str | None = None) -> ModelManifest:
+        if version is None:
+            model, version = self.resolve(model)
+        return ModelManifest.load(self.version_dir(model, version) / "manifest.json")
+
+    def load(self, ref: str) -> tuple[Cascade, ModelManifest]:
+        """Load (and digest-verify) a model by reference."""
+        model, version = self.resolve(ref)
+        base = self.version_dir(model, version)
+        manifest = ModelManifest.load(base / "manifest.json")
+        cascade = Cascade.load(base / "cascade.json")
+        manifest.verify(cascade)
+        return cascade, manifest
+
+    # -- publishing ----------------------------------------------------------
+
+    def publish(self, cascade: Cascade, manifest: ModelManifest) -> Path:
+        """Atomically write one version directory and point ``latest`` at it.
+
+        Idempotent: republishing an existing version is a no-op (the
+        deterministic version name means the bytes are the same).
+        """
+        final = self.version_dir(manifest.model, manifest.version)
+        if not self.has(manifest.model, manifest.version):
+            manifest.verify(cascade)
+            final.parent.mkdir(parents=True, exist_ok=True)
+            staging = final.parent / f".staging-{manifest.version}-{os.getpid()}"
+            if staging.exists():
+                shutil.rmtree(staging)
+            staging.mkdir()
+            try:
+                cascade.save(staging / "cascade.json")
+                manifest.save(staging / "manifest.json")
+                os.replace(staging, final)
+            except OSError:
+                shutil.rmtree(staging, ignore_errors=True)
+                if not self.has(manifest.model, manifest.version):
+                    raise
+        self._write_alias(manifest.model, "latest", manifest.version)
+        return final
+
+    # -- garbage collection --------------------------------------------------
+
+    def gc(self, model: str | None = None) -> list[str]:
+        """Drop every version but ``latest`` (plus stale checkpoints).
+
+        Returns the removed ``model@version`` names (checkpoints count as
+        ``model@version (checkpoint)``).
+        """
+        removed: list[str] = []
+        for name in [model] if model is not None else self.models():
+            keep = self.latest(name)
+            for version in self.versions(name):
+                if version != keep:
+                    shutil.rmtree(self.version_dir(name, version))
+                    removed.append(f"{name}@{version}")
+            ckpt_root = self._root / name / _CHECKPOINTS
+            if ckpt_root.is_dir():
+                for ckpt in sorted(p for p in ckpt_root.iterdir() if p.is_dir()):
+                    if self.has(name, ckpt.name):
+                        # training finished and published; the checkpoint
+                        # is dead weight
+                        shutil.rmtree(ckpt)
+                        removed.append(f"{name}@{ckpt.name} (checkpoint)")
+        return removed
+
+    # -- checkpoints (used by repro.zoo.training) ----------------------------
+
+    def checkpoint_dir(self, model: str, version: str) -> Path:
+        return self._root / model / _CHECKPOINTS / version
+
+    # -- internals -----------------------------------------------------------
+
+    def _read_aliases(self, model: str) -> dict:
+        path = self._root / model / _ALIASES
+        try:
+            data = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return {}
+        return data if isinstance(data, dict) else {}
+
+    def _write_alias(self, model: str, alias: str, version: str) -> None:
+        aliases = self._read_aliases(model)
+        if aliases.get(alias) == version:
+            return
+        aliases[alias] = version
+        path = self._root / model / _ALIASES
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        tmp.write_text(json.dumps(aliases, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+
+
+def default_store() -> ModelStore:
+    """The store under the artifact cache (honours ``REPRO_CACHE_DIR``)."""
+    return ModelStore()

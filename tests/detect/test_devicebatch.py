@@ -40,7 +40,10 @@ def cascade():
 @pytest.fixture(scope="module")
 def pipeline(cascade):
     return FaceDetectionPipeline(
-        cascade, config=PipelineConfig(backend="vectorized")
+        # fastpath pinned off: fastpath workspaces are inherently
+        # sequential (temporal delta cache) and opt out of fusion, so
+        # these goldens must not inherit REPRO_FASTPATH from the env
+        cascade, config=PipelineConfig(backend="vectorized", fastpath="off")
     )
 
 
@@ -264,7 +267,7 @@ class TestArrayApiTolerance:
         (IoU + score delta) — the acceptance contract a non-bit-exact
         accelerator backend is held to."""
         pipeline = FaceDetectionPipeline(
-            cascade, config=PipelineConfig(backend="arrayapi")
+            cascade, config=PipelineConfig(backend="arrayapi", fastpath="off")
         )
         workspace = pipeline.make_workspace()
         per_frame = [workspace.process_frame(f) for f in frames]

@@ -68,8 +68,9 @@ class TestRouting:
         body = json.loads(outcome["detect"][1])
         assert set(body) == {
             "detections", "raw_count", "simulated_detection_s",
-            "trace_id", "timing",
+            "trace_id", "timing", "model_version",
         }
+        assert body["model_version"].startswith("quick@")
         metrics = json.loads(outcome["/metrics"][1])
         assert "counters" in metrics and "histograms" in metrics
         stats = json.loads(outcome["/stats"][1])

@@ -1,0 +1,241 @@
+"""Hot-swap tests: EngineSlot atomicity and the server's swap endpoints.
+
+The server-level tests swap the live ``quick`` model to an exported
+cascade *file* (version tag ``quick@file``) — same code path as a zoo
+version flip, none of the training cost — while concurrent requests are
+in flight, and assert the zero-downtime contract: every request answers
+200, ``/readyz`` never leaves 200, and the serving version tag flips in
+responses, ``/stats`` and ``GET /v1/models``.
+"""
+
+import asyncio
+import io
+import json
+from concurrent.futures import Future
+from types import SimpleNamespace
+
+import pytest
+
+from repro.detect.swap import EngineSlot
+from repro.serve.loadgen import _Connection, build_payloads
+from repro.serve.server import DetectionServer, ServerConfig
+
+JSON = "application/json"
+
+
+class FakeEngine:
+    def __init__(self, tag):
+        self.tag = tag
+        self.drained = False
+        self.closed = False
+
+    def submit_batch(self, lumas, traces=None):
+        futures = []
+        for luma in lumas:
+            f = Future()
+            f.set_result(SimpleNamespace(frame=luma, engine=self.tag))
+            futures.append(f)
+        return futures
+
+    def drain(self):
+        self.drained = True
+
+    def close(self):
+        self.closed = True
+
+
+class TestEngineSlot:
+    def test_infer_stamps_the_serving_version(self):
+        slot = EngineSlot(FakeEngine("a"), "m@1")
+        results = slot.infer([1, 2])
+        assert [r.model_version for r in results] == ["m@1", "m@1"]
+        assert all(r.engine == "a" for r in results)
+
+    def test_swap_returns_old_engine_and_bumps_generation(self):
+        first, second = FakeEngine("a"), FakeEngine("b")
+        slot = EngineSlot(first, "m@1")
+        assert slot.generation == 0
+        old = slot.swap(second, "m@2")
+        assert old is first
+        assert slot.engine is second
+        assert slot.model_version == "m@2"
+        assert slot.generation == 1
+        engine, version, generation = slot.current()
+        assert (engine, version, generation) == (second, "m@2", 1)
+
+    def test_results_pair_with_the_engine_that_served_them(self):
+        slot = EngineSlot(FakeEngine("a"), "m@1")
+        before = slot.infer([0])
+        slot.swap(FakeEngine("b"), "m@2")
+        after = slot.infer([0])
+        assert (before[0].engine, before[0].model_version) == ("a", "m@1")
+        assert (after[0].engine, after[0].model_version) == ("b", "m@2")
+
+
+def serve(config: ServerConfig | None = None):
+    """Same harness as test_server: run ``fn(server, conn)`` live."""
+
+    def runner(fn):
+        async def drive():
+            server = DetectionServer(
+                config
+                or ServerConfig(port=0, model="quick", workers=1, max_batch=2),
+                log_stream=io.StringIO(),
+            )
+            await server.start()
+            conn = _Connection("127.0.0.1", server.port)
+            try:
+                return await fn(server, conn)
+            finally:
+                conn.close()
+                await server.drain()
+
+        return asyncio.run(drive())
+
+    return runner
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    return build_payloads(width=96, height=96, frames=2, faces=1, seed=0)
+
+
+@pytest.fixture(scope="module")
+def exported_quick(tmp_path_factory):
+    """The quick cascade exported as a plain file — a swap target with a
+    distinct version tag (``quick@file``) and zero training cost."""
+    from repro.zoo import resolve_model
+
+    cascade, _ = resolve_model("quick")
+    path = tmp_path_factory.mktemp("swap-target") / "exported-quick.json"
+    cascade.save(path)
+    return path
+
+
+class TestServerSwap:
+    def test_swap_under_live_load_drops_nothing(self, payloads, exported_quick):
+        swap_body = json.dumps({"model": str(exported_quick)}).encode()
+
+        @serve()
+        async def outcome(server, conn):
+            async def fetch():
+                c = _Connection("127.0.0.1", server.port)
+                try:
+                    return await c.request("POST", "/v1/detect", *payloads[0])
+                finally:
+                    c.close()
+
+            probe = _Connection("127.0.0.1", server.port)
+            steady = await fetch()
+            inflight = [asyncio.ensure_future(fetch()) for _ in range(8)]
+            ready_before = await probe.request("GET", "/readyz")
+            swapped = await conn.request(
+                "POST", "/v1/models/swap", swap_body, JSON
+            )
+            ready_after = await probe.request("GET", "/readyz")
+            during = await asyncio.gather(*inflight)
+            after = await asyncio.gather(*(fetch() for _ in range(4)))
+            stats = await conn.request("GET", "/stats")
+            models = await conn.request("GET", "/v1/models")
+            probe.close()
+            return steady, swapped, ready_before, ready_after, during, after, stats, models
+
+        steady, swapped, ready_before, ready_after, during, after, stats, models = (
+            outcome
+        )
+        assert steady[0] == 200
+        assert json.loads(steady[1])["model_version"].startswith("quick@")
+
+        assert swapped[0] == 200, swapped[1]
+        summary = json.loads(swapped[1])
+        assert summary["swapped"] is True
+        assert summary["serving"] == "quick@file"
+        assert summary["previous"].startswith("quick@")
+        assert summary["previous"] != "quick@file"
+
+        # zero downtime: every concurrent request answered, readiness held
+        assert ready_before[0] == 200 and ready_after[0] == 200
+        assert all(status == 200 for status, _ in during)
+        for status, body in after:
+            assert status == 200
+            assert json.loads(body)["model_version"] == "quick@file"
+
+        snap = json.loads(stats[1])
+        assert snap["serve"]["model"]["version_tag"] == "quick@file"
+        assert snap["serve"]["model"]["swaps"] == 1
+        assert snap["serve"]["model"]["state"] == "serving"
+        assert snap["model"]["version_tag"] == "quick@file"
+
+        listing = json.loads(models[1])
+        assert listing["current"]["version_tag"] == "quick@file"
+        assert "quick" in listing["available"]
+
+    def test_unknown_model_is_400_and_serving_is_untouched(self, payloads):
+        bad = json.dumps({"model": "no-such-model"}).encode()
+
+        @serve()
+        async def outcome(server, conn):
+            refused = await conn.request("POST", "/v1/models/swap", bad, JSON)
+            answer = await conn.request("POST", "/v1/detect", *payloads[0])
+            stats = await conn.request("GET", "/stats")
+            return refused, answer, stats
+
+        refused, answer, stats = outcome
+        assert refused[0] == 400
+        assert json.loads(refused[1])["error"]
+        assert answer[0] == 200
+        snap = json.loads(stats[1])
+        assert snap["serve"]["model"]["version_tag"].startswith("quick@")
+        assert snap["serve"]["model"]["swaps"] == 0
+
+    def test_concurrent_swap_is_409(self, exported_quick):
+        swap_body = json.dumps({"model": str(exported_quick)}).encode()
+
+        @serve()
+        async def outcome(server, conn):
+            server._manager._swap_in_flight = True  # a swap is mid-phase
+            try:
+                busy = await conn.request(
+                    "POST", "/v1/models/swap", swap_body, JSON
+                )
+            finally:
+                server._manager._swap_in_flight = False
+            return busy
+
+        status, body = outcome
+        assert status == 409
+        assert "in flight" in json.loads(body)["error"]
+
+    def test_get_swap_is_405(self):
+        @serve()
+        async def outcome(server, conn):
+            return await conn.request("GET", "/v1/models/swap")
+
+        assert outcome[0] == 405
+
+    def test_sighup_reload_is_a_noop_when_latest_is_unchanged(self):
+        @serve()
+        async def outcome(server, conn):
+            before = server._manager.info()
+            result = await server.reload_model()
+            return before, result, server._manager.info()
+
+        before, result, after = outcome
+        assert result is None
+        assert after["version_tag"] == before["version_tag"]
+        assert after["swaps"] == 0
+
+    def test_old_engine_is_retired_after_swap(self, exported_quick):
+        swap_body = json.dumps({"model": str(exported_quick)}).encode()
+
+        @serve()
+        async def outcome(server, conn):
+            old_engine = server._engine
+            status, _ = await conn.request(
+                "POST", "/v1/models/swap", swap_body, JSON
+            )
+            return status, old_engine, server._engine
+
+        status, old_engine, new_engine = outcome
+        assert status == 200
+        assert new_engine is not old_engine

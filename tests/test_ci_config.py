@@ -265,6 +265,45 @@ def test_serve_smoke_observability(workflow):
     assert obs.get("if-no-files-found") == "error"
 
 
+def test_serve_smoke_hot_swap(workflow):
+    """The serve-smoke job must exercise the zero-downtime hot-swap end
+    to end against a real ``repro serve`` process: pre-train both zoo
+    models (so the swap window is load-warm-flip, never a bootstrap run),
+    swap quick -> quick_baseline mid-loadtest via POST /v1/models/swap,
+    verify the flip in /stats, and publish + validate BENCH_swap.json."""
+    job = workflow["jobs"]["serve-smoke"]
+    text = _steps_text(job)
+    assert "repro train --recipe quick" in text
+    assert "repro train --recipe quick_baseline" in text
+    assert "repro bench swap" in text
+    script = next(
+        str(step.get("run", ""))
+        for step in job["steps"]
+        if "/v1/models/swap" in str(step.get("run", ""))
+    )
+    assert "--model quick" in script
+    assert '"model": "quick_baseline"' in script
+    # the swap fires while the loadtest is in flight, and the server is
+    # always drained afterwards regardless of the verdict
+    assert script.index("repro loadtest") < script.index("/v1/models/swap")
+    assert script.index("/v1/models/swap") < script.index("kill -TERM")
+    assert 'exit "$STATUS"' in script
+    # the flip + zero-failure gate reads /stats and the loadtest artifact
+    assert "/stats" in script
+    assert "quick_baseline@" in script
+    assert 'load["errors"] == 0' in script
+    # BENCH_swap.json goes through the same bench-check + upload path as
+    # every other serving artifact
+    assert "BENCH_swap.json" in _steps_text(job)
+    uploads = {
+        step["with"]["name"]: step["with"]
+        for step in job["steps"]
+        if "upload-artifact" in str(step.get("uses", ""))
+    }
+    assert "BENCH_swap.json" in str(uploads["BENCH_serving"]["path"])
+    assert "swap-serve.log" in str(uploads["serve-observability"]["path"])
+
+
 def test_bench_job_records_and_uploads_trace(workflow):
     """The bench smoke job must run ``repro trace`` and upload its output."""
     job = workflow["jobs"]["bench"]

@@ -132,6 +132,50 @@ class TestCommands:
         assert cascade.stage_sizes() == [2, 3]
 
 
+class TestZooCommands:
+    def test_zoo_list_empty_store(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["zoo", "list"]) == 0
+        assert "is empty" in capsys.readouterr().out
+
+    def test_zoo_gc_empty_store(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["zoo", "gc"]) == 0
+        assert "nothing to collect" in capsys.readouterr().out
+
+    def test_train_unknown_recipe_is_an_error(self, capsys):
+        assert main(["train", "--recipe", "nonexistent"]) == 1
+        assert "unknown recipe" in capsys.readouterr().err
+
+    def test_zoo_show_unknown_model_is_an_error(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["zoo", "show", "nonexistent"]) == 1
+        assert "no published versions" in capsys.readouterr().err
+
+    def test_zoo_list_and_show_published_model(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import json
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.zoo import TrainingRecipe, train_model
+
+        micro = TrainingRecipe(
+            name="micro", stage_sizes=(2, 3), algorithm="gentle",
+            min_hit_rate=0.99, n_faces=60, pool_size=150,
+        )
+        _, manifest = train_model(micro, seed=5)
+
+        assert main(["zoo", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "micro" in out and manifest.version in out
+
+        assert main(["zoo", "show", "micro"]) == 0
+        shown = json.loads(capsys.readouterr().out)
+        assert shown["version"] == manifest.version
+        assert shown["content_digest"] == manifest.content_digest
+
+
 class TestDeviceFlags:
     def test_bench_device_list(self, capsys):
         assert main(["bench", "throughput", "--device", "list"]) == 0
@@ -166,10 +210,13 @@ class TestDeviceFlags:
         assert payload["provenance"]["device"] == "cpu"
         assert payload["provenance"]["probe"].endswith("arrayapi:cpu ok")
 
-    def test_gpu_flag_walks_to_cpu(self, capsys, tmp_path):
-        # no accelerator in CI: --gpu must fall back, recording why
+    def test_gpu_flag_walks_to_cpu(self, capsys, tmp_path, monkeypatch):
+        # no accelerator in CI: --gpu must fall back, recording why.
+        # An env override (REPRO_BACKEND=...) legitimately short-circuits
+        # the probe walk, so the scenario under test needs it cleared.
         import json
 
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
         out_path = tmp_path / "BENCH_throughput.json"
         code = main(
             ["bench", "throughput", "--gpu",
